@@ -1,0 +1,53 @@
+"""Benchmark E8 — Section V-D: cleanup rate and post-cleanup query speedup.
+
+Two experiments from the paper's cleanup discussion:
+
+* the cleanup operation's throughput for 10 % and 50 % stale elements,
+  compared with rebuilding the same number of elements from scratch (paper:
+  cleanup ≈ 1.8–1.9 G elements/s, up to 2.5× faster than a rebuild, and
+  largely insensitive to the stale fraction);
+* running a large set of lookups after a cleanup (including the cleanup's
+  own cost) versus running them on the fragmented structure (paper: 4.8×
+  faster for 32 M lookups with 10 % removals).
+"""
+
+import os
+
+from repro.bench import cleanup_exp, report
+
+
+def test_cleanup_rates(benchmark, bench_scale, results_dir):
+    params = bench_scale["cleanup"]
+
+    rows = benchmark.pedantic(
+        lambda: cleanup_exp.cleanup_rate_rows(stale_fractions=(0.1, 0.5), **params),
+        rounds=1, iterations=1,
+    )
+    for row in rows:
+        assert row["cleanup_over_rebuild"] > 1.2
+    # Cleanup rate is largely insensitive to how much is removed.
+    rates = [row["cleanup_rate"] for row in rows]
+    assert max(rates) / min(rates) < 1.5
+
+    report.write_csv(rows, os.path.join(results_dir, "cleanup_rates.csv"))
+    print()
+    print(report.format_table(
+        rows, title="Section V-D — cleanup vs rebuild (M elements/s, simulated K40c)"
+    ))
+
+
+def test_cleanup_query_speedup(benchmark, bench_scale, results_dir):
+    params = bench_scale["cleanup_speedup"]
+
+    result = benchmark.pedantic(
+        lambda: cleanup_exp.cleanup_query_speedup(**params), rounds=1, iterations=1
+    )
+    # Cleanup reduces the number of occupied levels and makes the same
+    # queries faster even after paying for the cleanup itself.
+    assert result["levels_after"] <= result["levels_before"]
+    assert result["speedup_queries_only"] > 1.0
+    assert result["speedup_including_cleanup"] > 1.0
+
+    report.write_csv([result], os.path.join(results_dir, "cleanup_query_speedup.csv"))
+    print()
+    print(report.format_table([result], title="Section V-D — post-cleanup query speedup"))

@@ -1,0 +1,57 @@
+"""Benchmark E5 — Figure 4a: batch insertion time versus resident batches.
+
+Regenerates the paper's Figure 4a: the time of each batch insertion as a
+function of the number of resident batches, for a fixed batch size.  The
+series is the characteristic LSM sawtooth: insertions into an LSM whose
+lowest level is empty cost only a batch sort, while an insertion that
+cascades through k full levels costs the sort plus merges totalling
+(2^k − 1) · b elements; the spikes therefore appear exactly at the
+power-of-two resident counts and grow geometrically.
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench import figures, report
+
+
+def test_fig4a_batch_insertion_time(benchmark, bench_scale, results_dir):
+    params = bench_scale["fig4a"]
+
+    series = benchmark.pedantic(
+        lambda: figures.figure4a_series(**params), rounds=1, iterations=1
+    )
+    assert len(series) == params["num_batches"]
+
+    times = {p["resident_batches"]: p["time_ms"] for p in series}
+    merges = {p["resident_batches"]: p["merges"] for p in series}
+
+    # The most expensive insertion is the full cascade (r = 64: 6 merges,
+    # or whatever the largest power of two in the run is).
+    full_cascade_r = 1 << int(np.log2(params["num_batches"]))
+    assert times[full_cascade_r] == max(times.values())
+
+    # No-merge insertions are the cheapest class and much cheaper than the
+    # full cascade.
+    no_merge = [t for r, t in times.items() if merges[r] == 0]
+    cascade = times[full_cascade_r]
+    assert max(no_merge) < cascade / 2
+
+    # Cost increases monotonically with the number of merges performed
+    # (compare class averages).
+    by_merges = {}
+    for r, t in times.items():
+        by_merges.setdefault(merges[r], []).append(t)
+    avg = {m: float(np.mean(ts)) for m, ts in by_merges.items()}
+    levels = sorted(avg)
+    for lo, hi in zip(levels, levels[1:]):
+        assert avg[hi] > avg[lo]
+
+    rows = list(series)
+    report.write_csv(rows, os.path.join(results_dir, "fig4a_batch_insertion_time.csv"))
+    print()
+    print(report.format_table(
+        rows[:16],
+        title="Figure 4a — batch insertion time (first 16 points; full series in CSV)",
+    ))

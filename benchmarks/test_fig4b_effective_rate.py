@@ -1,0 +1,49 @@
+"""Benchmark E6 — Figure 4b: effective insertion rate versus total elements.
+
+Regenerates the paper's Figure 4b: the cumulative ("effective") insertion
+rate of the GPU LSM and the GPU sorted array as more and more batches are
+inserted, for several batch sizes.  Shapes reproduced: the LSM's effective
+rate decays slowly (O(1/log n)) while the SA's collapses (O(1/n)), so the
+gap between the two grows with the number of inserted elements; larger
+batch sizes give higher absolute rates for both structures.
+"""
+
+import os
+
+from repro.bench import figures, report
+
+
+def test_fig4b_effective_rate(benchmark, bench_scale, results_dir):
+    params = bench_scale["fig4b"]
+
+    series = benchmark.pedantic(
+        lambda: figures.figure4b_series(**params), rounds=1, iterations=1
+    )
+
+    for b in params["batch_sizes"]:
+        lsm = series[f"lsm_b={b}"]
+        sa = series[f"sa_b={b}"]
+        # Final effective rate: LSM above SA, and the ratio exceeds the
+        # ratio at the first point (the gap grows with n).
+        first_gap = lsm[0]["effective_rate"] / sa[0]["effective_rate"]
+        final_gap = lsm[-1]["effective_rate"] / sa[-1]["effective_rate"]
+        assert lsm[-1]["effective_rate"] > sa[-1]["effective_rate"]
+        assert final_gap > first_gap
+        # The SA's degradation from start to finish is larger than the LSM's.
+        lsm_drop = lsm[0]["effective_rate"] / lsm[-1]["effective_rate"]
+        sa_drop = sa[0]["effective_rate"] / sa[-1]["effective_rate"]
+        assert sa_drop > lsm_drop
+
+    # Larger batch sizes sustain higher final LSM rates.
+    finals = [series[f"lsm_b={b}"][-1]["effective_rate"]
+              for b in sorted(params["batch_sizes"])]
+    assert finals == sorted(finals)
+
+    rows = report.series_to_rows(series)
+    report.write_csv(rows, os.path.join(results_dir, "fig4b_effective_rate.csv"))
+    print()
+    print(report.format_series(
+        {k: v[-3:] for k, v in series.items()},
+        x_key="total_elements", y_key="effective_rate",
+        title="Figure 4b — effective insertion rate (last 3 points per series)",
+    ))

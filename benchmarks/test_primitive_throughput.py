@@ -1,0 +1,78 @@
+"""Ablation benchmark — throughput of the underlying GPU primitives.
+
+Not a table in the paper, but the paper's analysis leans on the measured
+rates of its building blocks ("our GPU sustains 770 M elements/s for
+key-value radix sort", "in-memory transfers with 288 GB/s", merge rates
+implied by Table II).  This benchmark reports the simulated throughput of
+each primitive so regressions in the cost calibration are caught, and so the
+DESIGN.md design-choice discussion (sort-including-status-bit versus
+merge-excluding-status-bit) is backed by numbers.
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench import report
+from repro.bench.runner import ExperimentRunner
+from repro.primitives.merge import merge_pairs
+from repro.primitives.radix_sort import radix_sort_pairs
+from repro.primitives.scan import exclusive_scan
+from repro.primitives.search import lower_bound
+from repro.primitives.segmented_sort import segmented_sort_keys
+
+
+def test_primitive_throughput(benchmark, results_dir):
+    n = 1 << 18
+    rng = np.random.default_rng(3)
+    keys = rng.integers(0, 2**32, n, dtype=np.uint32)
+    values = rng.integers(0, 2**32, n, dtype=np.uint32)
+
+    def run():
+        rows = []
+        runner = ExperimentRunner()
+
+        rate = runner.measure(n, lambda: radix_sort_pairs(keys, values,
+                                                          device=runner.device))
+        rows.append({"primitive": "radix_sort_pairs", "items": n,
+                     "rate_m_per_s": rate})
+
+        a = np.sort(keys[: n // 2])
+        b = np.sort(keys[n // 2:])
+        av, bv = values[: n // 2], values[n // 2:]
+        rate = runner.measure(n, lambda: merge_pairs(a, av, b, bv,
+                                                     device=runner.device))
+        rows.append({"primitive": "merge_pairs", "items": n, "rate_m_per_s": rate})
+
+        counts = rng.integers(0, 16, n).astype(np.int64)
+        rate = runner.measure(n, lambda: exclusive_scan(counts, device=runner.device))
+        rows.append({"primitive": "exclusive_scan", "items": n, "rate_m_per_s": rate})
+
+        hay = np.sort(keys)
+        queries = rng.integers(0, 2**32, 1 << 14, dtype=np.uint32)
+        rate = runner.measure(queries.size,
+                              lambda: lower_bound(hay, queries, device=runner.device))
+        rows.append({"primitive": "lower_bound (binary search)",
+                     "items": queries.size, "rate_m_per_s": rate})
+
+        seg_offsets = np.arange(0, n, 64, dtype=np.int64)
+        rate = runner.measure(n, lambda: segmented_sort_keys(keys, seg_offsets,
+                                                             device=runner.device))
+        rows.append({"primitive": "segmented_sort_keys", "items": n,
+                     "rate_m_per_s": rate})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_name = {r["primitive"]: r["rate_m_per_s"] for r in rows}
+
+    # Calibration guards: the simulated key-value radix sort sits in the
+    # neighbourhood of the paper's 770 M pairs/s; the merge is faster than
+    # the sort per element; random-access binary search is far slower than
+    # the streaming primitives.
+    assert 300 < by_name["radix_sort_pairs"] < 2500
+    assert by_name["merge_pairs"] > by_name["radix_sort_pairs"]
+    assert by_name["lower_bound (binary search)"] < by_name["exclusive_scan"]
+
+    report.write_csv(rows, os.path.join(results_dir, "primitive_throughput.csv"))
+    print()
+    print(report.format_table(rows, title="Primitive throughput (simulated K40c)"))

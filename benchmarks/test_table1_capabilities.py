@@ -1,0 +1,51 @@
+"""Benchmark E1 — Table I: capability matrix and per-item work scaling.
+
+Regenerates the paper's Table I comparison of the cuckoo hash table, the GPU
+sorted array and the GPU LSM: which operations each supports, and how the
+per-item work grows with the number of resident elements (the empirical
+counterpart of the O(1) / O(log n) / O(n) bounds).
+"""
+
+import os
+
+from repro.bench import report, tables
+
+
+def test_table1_capabilities(benchmark, bench_scale, results_dir):
+    params = bench_scale["table1"]
+
+    rows = benchmark.pedantic(
+        lambda: tables.table1_rows(**params), rounds=1, iterations=1
+    )
+    by_name = {r["structure"]: r for r in rows}
+
+    # Capability matrix exactly as in Table I.
+    assert not by_name["cuckoo_hash"]["supports_insert"]
+    assert not by_name["cuckoo_hash"]["supports_delete"]
+    assert not by_name["cuckoo_hash"]["supports_count"]
+    assert not by_name["cuckoo_hash"]["supports_range"]
+    assert by_name["cuckoo_hash"]["supports_lookup"]
+    for structure in ("sorted_array", "gpu_lsm"):
+        for op in ("insert", "delete", "lookup", "count", "range"):
+            assert by_name[structure][f"supports_{op}"]
+
+    # Work scaling: SA insertions grow much faster than LSM insertions;
+    # cuckoo lookups stay flat; LSM lookups grow faster than SA lookups
+    # (log^2 n versus log n).
+    assert (by_name["sorted_array"]["insert_growth_ratio"]
+            > 2 * by_name["gpu_lsm"]["insert_growth_ratio"])
+    assert by_name["cuckoo_hash"]["lookup_growth_ratio"] < 1.5
+    assert (by_name["gpu_lsm"]["lookup_growth_ratio"]
+            >= 0.9 * by_name["sorted_array"]["lookup_growth_ratio"])
+
+    report.write_csv(rows, os.path.join(results_dir, "table1_capabilities.csv"))
+    print()
+    print(report.format_table(
+        rows,
+        columns=["structure", "supports_insert", "supports_delete", "supports_lookup",
+                 "supports_count", "supports_range", "insert_bytes_per_item_small",
+                 "insert_bytes_per_item_large", "insert_growth_ratio",
+                 "lookup_bytes_per_item_small", "lookup_bytes_per_item_large",
+                 "lookup_growth_ratio"],
+        title="Table I — capabilities and measured per-item work scaling",
+    ))

@@ -1,0 +1,45 @@
+"""Benchmark E2 — Table II: insertion rates versus batch size.
+
+Regenerates the paper's Table II: for every batch size, the min / max /
+harmonic-mean insertion rate of the GPU LSM and the GPU sorted array over
+all possible resident-batch counts, plus the cuckoo-hashing bulk-build rate.
+The headline claim being reproduced: the LSM's mean insertion rate over all
+batch sizes is many times the sorted array's (13.5x in the paper), and the
+gap widens as the batch size shrinks.
+"""
+
+import os
+
+from repro.bench import report, tables
+
+
+def test_table2_insertion_rates(benchmark, bench_scale, results_dir):
+    params = bench_scale["table2"]
+
+    rows = benchmark.pedantic(
+        lambda: tables.table2_insertion(**params), rounds=1, iterations=1
+    )
+    summary = rows[-1]
+    per_batch = rows[:-1]
+
+    # LSM wins on mean insertion rate overall and the advantage grows as b
+    # shrinks (the paper's Table II shape).
+    assert summary["lsm_mean_rate"] > summary["sa_mean_rate"]
+    assert summary["lsm_over_sa_speedup"] > 2.0
+    first_ratio = per_batch[0]["lsm_mean_rate"] / per_batch[0]["sa_mean_rate"]
+    last_ratio = per_batch[-1]["lsm_mean_rate"] / per_batch[-1]["sa_mean_rate"]
+    assert last_ratio > first_ratio
+
+    # Worst-case (min) LSM rate is below the SA's for small batch sizes —
+    # the price of the occasional full merge cascade the paper points out.
+    assert per_batch[-1]["lsm_min_rate"] <= per_batch[-1]["sa_min_rate"] * 1.05
+
+    # Max rates coincide (both are a pure batch sort into an empty structure).
+    for row in per_batch:
+        assert abs(row["lsm_max_rate"] - row["sa_max_rate"]) / row["lsm_max_rate"] < 0.2
+
+    report.write_csv(rows, os.path.join(results_dir, "table2_insertion_rates.csv"))
+    print()
+    print(report.format_table(
+        rows, title="Table II — insertion rates (M elements/s, simulated K40c)"
+    ))

@@ -1,0 +1,52 @@
+"""Benchmark E3 — Table III: lookup rates (none exist / all exist).
+
+Regenerates the paper's Table III: lookup throughput of the GPU LSM across
+batch sizes and resident-batch counts, against the GPU sorted array and the
+cuckoo hash table, for query populations in which either none or all of the
+queried keys exist.  Shapes reproduced: the SA is moderately faster than the
+LSM (paper: ~1.75x on average), the cuckoo hash is far faster (paper:
+7–10x), "all exist" is at least as fast as "none exist", and smaller batch
+sizes reduce the LSM's rates because more levels must be searched.
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench import report, tables
+from repro.bench.runner import RateSummary
+
+
+def test_table3_lookup_rates(benchmark, bench_scale, results_dir):
+    params = bench_scale["table3"]
+
+    rows = benchmark.pedantic(
+        lambda: tables.table3_lookup(**params), rounds=1, iterations=1
+    )
+    cuckoo = rows[-1]
+    per_batch = rows[:-1]
+
+    # The SA's mean lookup rate is at least the LSM's for every batch size.
+    for row in per_batch:
+        assert row["sa_none_mean"] >= 0.9 * row["lsm_none_mean"]
+        assert row["sa_all_mean"] >= 0.9 * row["lsm_all_mean"]
+
+    # The cuckoo hash table is the fastest of the three by a wide margin.
+    lsm_overall = RateSummary("lsm")
+    for row in per_batch:
+        lsm_overall.add(row["lsm_all_mean"])
+    assert cuckoo["lookup_all_rate"] > 2.5 * lsm_overall.harmonic_mean
+
+    # All-exist queries are at least as fast as none-exist queries (a miss
+    # must search every occupied level).
+    for row in per_batch:
+        assert row["lsm_all_mean"] >= 0.95 * row["lsm_none_mean"]
+
+    # Smaller batch sizes hurt the LSM's worst case (more occupied levels).
+    assert per_batch[-1]["lsm_none_min"] <= per_batch[0]["lsm_none_min"]
+
+    report.write_csv(rows, os.path.join(results_dir, "table3_lookup_rates.csv"))
+    print()
+    print(report.format_table(
+        rows, title="Table III — lookup rates (M queries/s, simulated K40c)"
+    ))

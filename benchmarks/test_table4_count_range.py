@@ -1,0 +1,46 @@
+"""Benchmark E4 — Table IV: count and range query rates for L = 8 and 1024.
+
+Regenerates the paper's Table IV: throughput of COUNT and RANGE queries on
+the GPU LSM and the GPU sorted array for two expected result widths.
+Shapes reproduced: rates collapse by more than an order of magnitude going
+from L = 8 to L = 1024 (the validation work is proportional to the number of
+candidates), count queries are faster than range queries (no compaction or
+value movement), and the sorted array is faster than the LSM throughout.
+"""
+
+import os
+
+from repro.bench import report, tables
+
+
+def test_table4_count_range(benchmark, bench_scale, results_dir):
+    params = bench_scale["table4"]
+    widths = params["expected_widths"]
+    w_small, w_large = widths[0], widths[-1]
+
+    rows = benchmark.pedantic(
+        lambda: tables.table4_count_range(**params), rounds=1, iterations=1
+    )
+
+    count_rows = [r for r in rows if r["operation"] == "count"]
+    range_rows = [r for r in rows if r["operation"] == "range"]
+    assert count_rows and range_rows
+
+    for row in rows:
+        # Wider ranges are much slower.
+        assert row[f"lsm_L{w_small}_mean"] > 2.0 * row[f"lsm_L{w_large}_mean"]
+        # The SA never loses to the LSM on these queries.
+        assert row[f"sa_L{w_small}_mean"] >= 0.9 * row[f"lsm_L{w_small}_mean"]
+
+    # Count >= range for the same batch size and width.
+    by_b_count = {r["batch_size"]: r for r in count_rows}
+    by_b_range = {r["batch_size"]: r for r in range_rows}
+    for b, crow in by_b_count.items():
+        assert crow[f"lsm_L{w_small}_mean"] >= 0.9 * by_b_range[b][f"lsm_L{w_small}_mean"]
+        assert crow[f"lsm_L{w_large}_mean"] >= 0.9 * by_b_range[b][f"lsm_L{w_large}_mean"]
+
+    report.write_csv(rows, os.path.join(results_dir, "table4_count_range.csv"))
+    print()
+    print(report.format_table(
+        rows, title="Table IV — count/range rates (M queries/s, simulated K40c)"
+    ))

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Moving-objects scenario: repeated range queries over objects that move.
+
+The paper's introduction motivates dynamic GPU dictionaries with "processing
+moving objects (e.g., real-time range queries to find k nearest neighbors
+for all moving objects in a 2D plane)".  This example models that workload:
+
+* objects live on a 2-D grid; each object's cell is linearised with a
+  Z-order (Morton) curve so that spatially close objects have numerically
+  close keys and a 2-D window decomposes into a handful of key ranges;
+* every simulation tick a batch of objects moves: their old positions are
+  deleted and their new positions inserted — exactly the mixed batches the
+  GPU LSM is designed for;
+* after every tick, range queries retrieve the objects inside a set of
+  query windows (e.g. the neighbourhood of each camera / vehicle).
+
+The same workload is run against the GPU sorted-array baseline, which must
+merge the whole array on every tick; the closing table shows the simulated
+time per tick for both structures — the dynamic-updates advantage the paper
+quantifies in Table II and Figure 4b, in an application setting.
+
+Run with:  python examples/moving_objects.py
+"""
+
+import numpy as np
+
+from repro import GPULSM, GPUSortedArray, Device, K40C_SPEC
+from repro.bench.report import format_table
+
+GRID_BITS = 10            # 1024 x 1024 grid of cells
+NUM_OBJECTS = 1 << 14     # 16K moving objects
+MOVES_PER_TICK = 1 << 12  # objects moving per tick (one update batch)
+NUM_TICKS = 6
+NUM_QUERY_WINDOWS = 256
+WINDOW_CELLS = 8          # query window edge length, in cells
+
+
+def morton_encode(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Interleave the bits of two GRID_BITS-wide coordinates (Z-order key)."""
+    key = np.zeros(x.shape, dtype=np.uint32)
+    for bit in range(GRID_BITS):
+        key |= ((x >> bit) & 1).astype(np.uint32) << (2 * bit)
+        key |= ((y >> bit) & 1).astype(np.uint32) << (2 * bit + 1)
+    return key
+
+
+def window_range(x0: int, y0: int, edge: int) -> tuple:
+    """Key range covering an ``edge``-aligned square window exactly.
+
+    When the window's corner is aligned to ``edge`` (a power of two) and its
+    side equals ``edge``, the Z-order curve visits all of its cells
+    consecutively, so the whole window is one contiguous key range — the
+    property that makes Morton keys a good fit for a range-query dictionary.
+    """
+    lo = morton_encode(np.array([x0], dtype=np.uint32),
+                       np.array([y0], dtype=np.uint32))[0]
+    hi = morton_encode(np.array([x0 + edge - 1], dtype=np.uint32),
+                       np.array([y0 + edge - 1], dtype=np.uint32))[0]
+    return int(lo), int(hi)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+
+    # Object state: positions and identifiers (the dictionary value).
+    obj_x = rng.integers(0, 1 << GRID_BITS, NUM_OBJECTS, dtype=np.uint32)
+    obj_y = rng.integers(0, 1 << GRID_BITS, NUM_OBJECTS, dtype=np.uint32)
+    obj_id = np.arange(NUM_OBJECTS, dtype=np.uint32)
+
+    # Two devices so the two structures' profiles stay separate.
+    lsm_device = Device(K40C_SPEC, seed=1)
+    sa_device = Device(K40C_SPEC, seed=1)
+    lsm = GPULSM(batch_size=MOVES_PER_TICK, device=lsm_device)
+    sa = GPUSortedArray(device=sa_device)
+
+    # Initial build.  Both structures key objects by their Morton cell code;
+    # the value is the object id.  (Cell collisions are fine for the demo:
+    # the dictionary keeps one object per cell, mirroring an occupancy map.)
+    keys0 = morton_encode(obj_x, obj_y)
+    lsm.bulk_build(keys0, obj_id)
+    sa.bulk_build(keys0, obj_id)
+
+    rows = []
+    for tick in range(1, NUM_TICKS + 1):
+        movers = rng.choice(NUM_OBJECTS, MOVES_PER_TICK, replace=False)
+        old_keys = morton_encode(obj_x[movers], obj_y[movers])
+        # Random walk by one cell in each dimension (clamped to the grid).
+        obj_x[movers] = np.clip(
+            obj_x[movers].astype(np.int64) + rng.integers(-1, 2, movers.size),
+            0, (1 << GRID_BITS) - 1).astype(np.uint32)
+        obj_y[movers] = np.clip(
+            obj_y[movers].astype(np.int64) + rng.integers(-1, 2, movers.size),
+            0, (1 << GRID_BITS) - 1).astype(np.uint32)
+        new_keys = morton_encode(obj_x[movers], obj_y[movers])
+
+        # --- GPU LSM: one deletion batch (old cells), one insertion batch
+        # (new cells).  Keeping them ordered delete-then-insert matches the
+        # sorted array's update order, so an object that ends up in a cell
+        # another mover just vacated is handled identically by both
+        # structures.  (A single mixed batch would apply batch-semantics
+        # rule 6 — insert+delete of the same key in one batch means deleted
+        # — which is the right semantics for true tombstoning but not what
+        # this occupancy-map workload wants.)
+        before = lsm_device.snapshot()
+        lsm.delete(old_keys)
+        lsm.insert(new_keys, obj_id[movers])
+        lsm_update_s = lsm_device.elapsed_since(before)
+
+        # --- GPU SA: delete + re-insert, each a whole-array rebuild. ------ #
+        before = sa_device.snapshot()
+        sa.delete(old_keys)
+        sa.insert(new_keys, obj_id[movers])
+        sa_update_s = sa_device.elapsed_since(before)
+
+        # --- Window queries on both structures. --------------------------- #
+        window_x = rng.integers(0, (1 << GRID_BITS) // WINDOW_CELLS,
+                                NUM_QUERY_WINDOWS) * WINDOW_CELLS
+        window_y = rng.integers(0, (1 << GRID_BITS) // WINDOW_CELLS,
+                                NUM_QUERY_WINDOWS) * WINDOW_CELLS
+        k1_list, k2_list = [], []
+        for wx, wy in zip(window_x, window_y):
+            lo, hi = window_range(int(wx), int(wy), WINDOW_CELLS)
+            k1_list.append(lo)
+            k2_list.append(hi)
+        k1 = np.asarray(k1_list, dtype=np.uint32)
+        k2 = np.asarray(k2_list, dtype=np.uint32)
+
+        before = lsm_device.snapshot()
+        lsm_hits = int(lsm.count(k1, k2).sum())
+        lsm_query_s = lsm_device.elapsed_since(before)
+
+        before = sa_device.snapshot()
+        sa_hits = int(sa.count(k1, k2).sum())
+        sa_query_s = sa_device.elapsed_since(before)
+
+        rows.append({
+            "tick": tick,
+            "objects_moved": MOVES_PER_TICK,
+            "lsm_update_ms": lsm_update_s * 1e3,
+            "sa_update_ms": sa_update_s * 1e3,
+            "update_speedup": sa_update_s / lsm_update_s,
+            "lsm_query_ms": lsm_query_s * 1e3,
+            "sa_query_ms": sa_query_s * 1e3,
+            "objects_in_windows": lsm_hits,
+        })
+        # Both structures must agree on what the queries see.
+        assert lsm_hits == sa_hits, (lsm_hits, sa_hits)
+
+    print(format_table(
+        rows,
+        title=(f"Moving objects: {NUM_OBJECTS} objects, {MOVES_PER_TICK} moves/tick, "
+               f"{NUM_QUERY_WINDOWS} query windows/tick (simulated K40c times)"),
+    ))
+    print("The GPU LSM applies each tick's movement batch without touching the\n"
+          "rest of the index, while the sorted array pays for a whole-array merge\n"
+          "— the same trade-off as Table II / Figure 4b of the paper, with the\n"
+          "expected small query-time penalty for the LSM's multiple levels.")
+
+
+if __name__ == "__main__":
+    main()

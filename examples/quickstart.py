@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: the GPU LSM's full API surface in one small script.
+
+Builds a dictionary, applies batched insertions, deletions and a mixed
+batch, runs every query type, performs a cleanup, and prints both the
+functional results and the simulated-GPU performance profile (the per
+operation throughput the cost model assigns on a Tesla K40c).
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GPULSM, Device, K40C_SPEC
+from repro.bench.report import format_table
+
+
+def main() -> None:
+    # A dedicated simulated device so the profiler output covers only this
+    # script's operations.
+    device = Device(K40C_SPEC, seed=7)
+    batch_size = 4096
+    lsm = GPULSM(batch_size=batch_size, device=device)
+
+    rng = np.random.default_rng(42)
+
+    # ------------------------------------------------------------------ #
+    # 1. Batched insertions: three batches of random key/value pairs.
+    # ------------------------------------------------------------------ #
+    all_keys = rng.choice(1 << 24, size=3 * batch_size, replace=False).astype(np.uint32)
+    all_values = rng.integers(0, 1 << 30, size=3 * batch_size, dtype=np.uint32)
+    for i in range(3):
+        sl = slice(i * batch_size, (i + 1) * batch_size)
+        lsm.insert(all_keys[sl], all_values[sl])
+    print(f"after 3 insert batches: {lsm.num_elements} resident elements, "
+          f"{lsm.num_occupied_levels} occupied level(s)")
+
+    # ------------------------------------------------------------------ #
+    # 2. Lookups: half existing keys, half keys that were never inserted.
+    # ------------------------------------------------------------------ #
+    queries = np.concatenate([all_keys[:2048],
+                              rng.integers(1 << 24, 1 << 25, 2048, dtype=np.uint32)])
+    result = lsm.lookup(queries)
+    print(f"lookup: {int(result.found.sum())} of {queries.size} queries found "
+          f"(expected 2048)")
+
+    # ------------------------------------------------------------------ #
+    # 3. Deletion (tombstones) and a mixed update batch.
+    # ------------------------------------------------------------------ #
+    lsm.delete(all_keys[:batch_size])
+    lsm.update(
+        insert_keys=all_keys[:16],                       # resurrect 16 keys ...
+        insert_values=np.full(16, 123456, dtype=np.uint32),
+        delete_keys=all_keys[batch_size:batch_size + 16],  # ... and delete 16 more
+    )
+    check = lsm.lookup(all_keys[:32])
+    print(f"after deletion + mixed batch: first 16 keys found again = "
+          f"{bool(check.found[:16].all())}, next 16 still deleted = "
+          f"{not check.found[16:32].any()}")
+
+    # ------------------------------------------------------------------ #
+    # 4. Count and range queries.
+    # ------------------------------------------------------------------ #
+    k1 = np.array([0, 1 << 22, 1 << 23], dtype=np.uint32)
+    k2 = np.array([1 << 22, 1 << 23, (1 << 24) - 1], dtype=np.uint32)
+    counts = lsm.count(k1, k2)
+    ranges = lsm.range_query(k1, k2)
+    for i in range(k1.size):
+        keys_i, values_i = ranges.query_slice(i)
+        assert keys_i.size == counts[i]
+        print(f"range [{int(k1[i]):>9}, {int(k2[i]):>9}]: {int(counts[i]):>5} live keys")
+
+    # ------------------------------------------------------------------ #
+    # 5. Cleanup: drop tombstones, deleted and replaced elements.
+    # ------------------------------------------------------------------ #
+    stats = lsm.cleanup()
+    print(f"cleanup: {stats['elements_before']} -> {stats['elements_after']} elements "
+          f"({stats['removed']} removed, {stats['padding']} placebo padding)")
+
+    # ------------------------------------------------------------------ #
+    # 6. Simulated performance profile.
+    # ------------------------------------------------------------------ #
+    print()
+    print(format_table(device.profiler.summary_rows(),
+                       columns=["region", "items", "simulated_ms", "rate_m_per_s"],
+                       title="Simulated K40c profile (per operation)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a full reproduction of *GPU LSM: A Dynamic Dictionary Data
+Structure for the GPU* (Ashkiani, Li, Farach-Colton, Amenta, Owens;
+IPDPS 2018) on a simulated GPU substrate.
+
+Package layout
+--------------
+``repro.gpu``
+    The simulated GPU: device spec (K40c-calibrated), memory manager,
+    launch geometry, warp primitives, analytic cost model and profiler.
+``repro.primitives``
+    The CUB / moderngpu primitive equivalents the data structures are
+    built from: radix sort, merge path, scan, reduce, searches, segmented
+    sort, compaction, multisplit, histograms.
+``repro.core``
+    The GPU LSM itself (:class:`repro.core.lsm.GPULSM`) plus its key
+    encoding, batch construction, invariants and a sequential reference
+    model used as the testing oracle.
+``repro.baselines``
+    The comparison data structures of the paper's evaluation: the GPU
+    sorted array and the cuckoo hash table.
+``repro.bench``
+    The experiment harness that regenerates every table and figure of the
+    paper's Section V.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import GPULSM
+>>> lsm = GPULSM(batch_size=1024)
+>>> keys = np.arange(1024, dtype=np.uint32)
+>>> lsm.insert(keys, keys * 10)
+>>> result = lsm.lookup(np.array([3, 2000], dtype=np.uint32))
+>>> bool(result.found[0]), bool(result.found[1])
+(True, False)
+>>> int(result.values[0])
+30
+"""
+
+from repro.core.lsm import GPULSM, LookupResult, RangeResult
+from repro.core.config import LSMConfig
+from repro.core.encoding import KeyEncoder, MAX_KEY
+from repro.core.semantics import ReferenceDictionary
+from repro.baselines.sorted_array import GPUSortedArray
+from repro.baselines.cuckoo_hash import CuckooHashTable
+from repro.gpu.device import Device, get_default_device, set_default_device
+from repro.gpu.spec import GPUSpec, K40C_SPEC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPULSM",
+    "LookupResult",
+    "RangeResult",
+    "LSMConfig",
+    "KeyEncoder",
+    "MAX_KEY",
+    "ReferenceDictionary",
+    "GPUSortedArray",
+    "CuckooHashTable",
+    "Device",
+    "get_default_device",
+    "set_default_device",
+    "GPUSpec",
+    "K40C_SPEC",
+    "__version__",
+]

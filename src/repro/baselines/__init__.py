@@ -1,0 +1,17 @@
+"""Baseline GPU data structures the paper compares against (Section V-A).
+
+* :class:`repro.baselines.sorted_array.GPUSortedArray` — "GPU SA": one big
+  sorted array maintained on the device.  Updates rebuild by sorting the new
+  batch and merging it with the entire resident array; queries are the same
+  binary-search / gather / validate pipelines as the LSM's, but over a
+  single level.
+* :class:`repro.baselines.cuckoo_hash.CuckooHashTable` — the CUDPP-style
+  cuckoo hash table: bulk build and lookups only (no deletion, no ordered
+  queries), included to expose the price the LSM pays for mutability and
+  ordered queries in Tables II and III.
+"""
+
+from repro.baselines.sorted_array import GPUSortedArray
+from repro.baselines.cuckoo_hash import CuckooHashTable, CuckooBuildError
+
+__all__ = ["GPUSortedArray", "CuckooHashTable", "CuckooBuildError"]

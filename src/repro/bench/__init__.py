@@ -1,0 +1,40 @@
+"""Experiment harness reproducing the paper's evaluation (Section V).
+
+One module per concern:
+
+* :mod:`repro.bench.workloads` — deterministic workload generators: unique
+  key sets, existing/missing query populations, range-query arguments with a
+  target expected width ``L``.
+* :mod:`repro.bench.runner` — the measurement machinery: run an operation,
+  collect its *simulated* execution time from the device profiler, and
+  aggregate min / max / harmonic-mean rates exactly the way the paper's
+  tables do.
+* :mod:`repro.bench.tables` — row generators for Tables I–IV plus the bulk
+  build comparison of Section V-B.
+* :mod:`repro.bench.figures` — series generators for Figures 4a and 4b.
+* :mod:`repro.bench.cleanup_exp` — the cleanup-rate and cleanup-speedup
+  experiments of Section V-D.
+* :mod:`repro.bench.report` — plain-text and CSV rendering of rows/series.
+
+All experiments accept explicit scale parameters and default to sizes that
+run in seconds on a single CPU core; the relationships the paper reports
+(who wins, by what factor, how rates move with batch size and range width)
+are functions of the ``n/b`` ratio and of per-element traffic, so they are
+preserved at reduced scale.  ``EXPERIMENTS.md`` records a paper-vs-measured
+comparison for every table and figure.
+"""
+
+from repro.bench.workloads import WorkloadConfig, make_workload
+from repro.bench.runner import ExperimentRunner, RateSummary
+from repro.bench import tables, figures, cleanup_exp, report
+
+__all__ = [
+    "WorkloadConfig",
+    "make_workload",
+    "ExperimentRunner",
+    "RateSummary",
+    "tables",
+    "figures",
+    "cleanup_exp",
+    "report",
+]

@@ -1,0 +1,157 @@
+"""Cleanup experiments (Section V-D).
+
+Two measurements:
+
+* :func:`cleanup_rate_rows` — the cleanup throughput (resident elements
+  divided by the simulated cleanup time) for data structures carrying a
+  given fraction of stale elements, compared against the bulk-build rate of
+  the same number of elements.  The paper reports ~1.8–1.9 G elements/s for
+  cleanup, about 2.5× faster than rebuilding from scratch, and observes the
+  rate is largely insensitive to the stale fraction.
+* :func:`cleanup_query_speedup` — the paper's "4.8× faster" experiment:
+  perform a large set of lookups on a fragmented LSM, then perform a
+  cleanup followed by the same lookups, and compare the total times
+  (cleanup time included in the second total).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.runner import (
+    PAPER_INSERTION_ELEMENTS,
+    ExperimentRunner,
+    scaled_spec,
+)
+from repro.bench.workloads import WorkloadConfig, make_workload
+from repro.core.lsm import GPULSM
+from repro.gpu.spec import GPUSpec, K40C_SPEC
+
+
+def _build_fragmented_lsm(
+    runner: ExperimentRunner,
+    batch_size: int,
+    num_batches: int,
+    stale_fraction: float,
+    seed: int,
+) -> GPULSM:
+    """Build an LSM with ``num_batches`` resident batches of which roughly
+    ``stale_fraction`` of the elements are stale (deleted or replaced).
+
+    Staleness is produced the way it arises in practice: a prefix of the
+    batches inserts fresh keys and the remaining batches delete (tombstone)
+    keys inserted earlier, so that the target fraction of resident elements
+    is invisible to queries.
+    """
+    if not 0.0 <= stale_fraction < 1.0:
+        raise ValueError("stale_fraction must be in [0, 1)")
+    total = batch_size * num_batches
+    # Each deletion batch contributes b tombstones *and* makes b previously
+    # inserted elements stale: 2b stale elements per deletion batch.
+    delete_batches = int(round(stale_fraction * num_batches / 2.0))
+    delete_batches = min(delete_batches, num_batches - 1)
+    insert_batches = num_batches - delete_batches
+
+    wl = make_workload(
+        WorkloadConfig(num_elements=insert_batches * batch_size, seed=seed)
+    )
+    lsm = GPULSM(batch_size=batch_size, device=runner.device)
+    inserted_keys: List[np.ndarray] = []
+    for keys, values in wl.batches(batch_size):
+        lsm.insert(keys, values)
+        inserted_keys.append(keys)
+    all_inserted = np.concatenate(inserted_keys) if inserted_keys else np.zeros(0)
+    rng = np.random.default_rng(seed + 7)
+    for _ in range(delete_batches):
+        victims = rng.choice(all_inserted, size=batch_size, replace=False)
+        lsm.delete(victims.astype(np.uint32))
+    assert lsm.num_batches == num_batches
+    return lsm
+
+
+def cleanup_rate_rows(
+    batch_size: int = 1 << 12,
+    num_batches: int = 63,
+    stale_fractions: Sequence[float] = (0.1, 0.5),
+    spec: Optional[GPUSpec] = None,
+    seed: int = 71,
+) -> List[Dict[str, object]]:
+    """Cleanup throughput versus stale fraction, with a rebuild baseline.
+
+    One row per stale fraction: resident elements, simulated cleanup rate
+    (M elements/s), the bulk-build rate for the same element count, and the
+    cleanup/rebuild speedup (the paper reports up to ~2.5×).
+    """
+    if spec is None:
+        spec = scaled_spec(batch_size * num_batches, PAPER_INSERTION_ELEMENTS)
+    rows: List[Dict[str, object]] = []
+    for frac in stale_fractions:
+        runner = ExperimentRunner(spec)
+        lsm = _build_fragmented_lsm(runner, batch_size, num_batches, frac, seed)
+        resident = lsm.num_elements
+        cleanup_rate = runner.measure(resident, lsm.cleanup)
+
+        # Rebuild baseline: bulk build of the same number of elements.
+        runner = ExperimentRunner(spec)
+        wl = make_workload(WorkloadConfig(num_elements=resident, seed=seed + 1))
+        rebuild = GPULSM(batch_size=batch_size, device=runner.device)
+        rebuild_rate = runner.measure(
+            resident, lambda: rebuild.bulk_build(wl.keys, wl.values)
+        )
+        rows.append(
+            {
+                "stale_fraction": frac,
+                "resident_elements": resident,
+                "cleanup_rate": cleanup_rate,
+                "rebuild_rate": rebuild_rate,
+                "cleanup_over_rebuild": cleanup_rate / rebuild_rate,
+            }
+        )
+    return rows
+
+
+def cleanup_query_speedup(
+    batch_size: int = 1 << 11,
+    num_batches: int = 127,
+    stale_fraction: float = 0.1,
+    num_queries: int = 1 << 14,
+    spec: Optional[GPUSpec] = None,
+    seed: int = 72,
+) -> Dict[str, float]:
+    """Query time before cleanup versus (cleanup + query) time after.
+
+    Mirrors the paper's Section V-D experiment: with 10 % removals,
+    n = (2^7 − 1)·b and b = 2^18, "we can perform 32 million lookup queries
+    … almost 4.8× faster than performing the exact same queries before the
+    cleanup (including the cleanup time)."  Returns the two simulated times
+    and their ratio.
+    """
+    if spec is None:
+        spec = scaled_spec(batch_size * num_batches, PAPER_INSERTION_ELEMENTS)
+    runner = ExperimentRunner(spec)
+    lsm = _build_fragmented_lsm(runner, batch_size, num_batches, stale_fraction, seed)
+
+    rng = np.random.default_rng(seed + 3)
+    queries = rng.integers(0, lsm.encoder.max_key, num_queries, dtype=np.uint64)
+    queries = queries.astype(np.uint32)
+
+    before_seconds = runner.measure_seconds(lambda: lsm.lookup(queries))
+    cleanup_seconds = runner.measure_seconds(lsm.cleanup)
+    after_seconds = runner.measure_seconds(lambda: lsm.lookup(queries))
+
+    total_after = cleanup_seconds + after_seconds
+    return {
+        "levels_before": float(bin(num_batches).count("1")),
+        "levels_after": float(lsm.num_occupied_levels),
+        "query_seconds_before": before_seconds,
+        "cleanup_seconds": cleanup_seconds,
+        "query_seconds_after": after_seconds,
+        "speedup_including_cleanup": before_seconds / total_after
+        if total_after > 0
+        else float("inf"),
+        "speedup_queries_only": before_seconds / after_seconds
+        if after_seconds > 0
+        else float("inf"),
+    }

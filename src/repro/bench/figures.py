@@ -1,0 +1,130 @@
+"""Series generators for the paper's figures (Section V-B, Figure 4).
+
+* :func:`figure4a_series` — batch insertion time versus the number of
+  resident batches (the sawtooth produced by the cascade of merges: the
+  insertion into ``r`` resident batches performs ``2^ffz(r) - 1`` merges,
+  where ``ffz`` is the index of the lowest zero bit of ``r``).
+* :func:`figure4b_series` — *effective* insertion rate (total elements
+  inserted divided by total insertion time) versus the number of inserted
+  elements, for several batch sizes, GPU LSM against GPU SA; the LSM's rate
+  decays like O(1/log n) while the SA's decays like O(1/n).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.sorted_array import GPUSortedArray
+from repro.bench.runner import (
+    PAPER_INSERTION_ELEMENTS,
+    ExperimentRunner,
+    scaled_spec,
+)
+from repro.bench.workloads import WorkloadConfig, make_workload
+from repro.core.lsm import GPULSM
+from repro.gpu.spec import GPUSpec, K40C_SPEC
+
+
+def ffz(r: int) -> int:
+    """Index of the least-significant zero bit of ``r`` (the paper's ffz)."""
+    i = 0
+    while (r >> i) & 1:
+        i += 1
+    return i
+
+
+def figure4a_series(
+    batch_size: int = 1 << 12,
+    num_batches: int = 64,
+    spec: Optional[GPUSpec] = None,
+    seed: int = 61,
+) -> List[Dict[str, float]]:
+    """Batch insertion time (simulated ms) for r = 1 .. ``num_batches``.
+
+    Returns one point per insertion: the resident-batch count *before* the
+    insertion plus one (i.e. the value of ``r`` after the insertion, as in
+    the paper's x-axis), the measured simulated time, the number of merge
+    levels the insertion cascaded through, and the analytic prediction
+    ``T_sort + (2^ffz(r_before) - 1) * T_merge`` evaluated from the first
+    insertion's sort time — included so tests can check the sawtooth shape.
+    """
+    if spec is None:
+        spec = scaled_spec(batch_size * num_batches, PAPER_INSERTION_ELEMENTS)
+    wl = make_workload(
+        WorkloadConfig(num_elements=batch_size * num_batches, seed=seed)
+    )
+    runner = ExperimentRunner(spec)
+    lsm = GPULSM(batch_size=batch_size, device=runner.device)
+
+    series: List[Dict[str, float]] = []
+    for i, (keys, values) in enumerate(wl.batches(batch_size)):
+        r_before = lsm.num_batches
+        seconds = runner.measure_seconds(lambda: lsm.insert(keys, values))
+        series.append(
+            {
+                "resident_batches": r_before + 1,
+                "time_ms": seconds * 1e3,
+                "merges": ffz(r_before),
+            }
+        )
+    return series
+
+
+def figure4b_series(
+    batch_sizes: Sequence[int] = (1 << 10, 1 << 11, 1 << 12, 1 << 13),
+    total_elements: int = 1 << 17,
+    spec: Optional[GPUSpec] = None,
+    seed: int = 62,
+) -> Dict[str, List[Dict[str, float]]]:
+    """Effective insertion rate versus total inserted elements.
+
+    Returns a mapping ``{"lsm_b=<b>": [...], "sa_b=<b>": [...]}``; each
+    series holds points with ``total_elements`` (inserted so far) and
+    ``effective_rate`` in M elements/s (cumulative elements divided by
+    cumulative simulated insertion time) — the quantity plotted in
+    Figure 4b.
+    """
+    if spec is None:
+        spec = scaled_spec(total_elements, PAPER_INSERTION_ELEMENTS)
+    out: Dict[str, List[Dict[str, float]]] = {}
+    for b in batch_sizes:
+        if b > total_elements:
+            raise ValueError(f"batch size {b} exceeds total_elements")
+        wl = make_workload(WorkloadConfig(num_elements=total_elements, seed=seed))
+
+        # GPU LSM
+        runner = ExperimentRunner(spec)
+        lsm = GPULSM(batch_size=b, device=runner.device)
+        cumulative = 0.0
+        inserted = 0
+        series: List[Dict[str, float]] = []
+        for keys, values in wl.batches(b):
+            cumulative += runner.measure_seconds(lambda: lsm.insert(keys, values))
+            inserted += b
+            series.append(
+                {
+                    "total_elements": inserted,
+                    "effective_rate": inserted / cumulative / 1e6,
+                }
+            )
+        out[f"lsm_b={b}"] = series
+
+        # GPU SA
+        runner = ExperimentRunner(spec)
+        sa = GPUSortedArray(device=runner.device)
+        cumulative = 0.0
+        inserted = 0
+        series = []
+        for keys, values in wl.batches(b):
+            cumulative += runner.measure_seconds(lambda: sa.insert(keys, values))
+            inserted += b
+            series.append(
+                {
+                    "total_elements": inserted,
+                    "effective_rate": inserted / cumulative / 1e6,
+                }
+            )
+        out[f"sa_b={b}"] = series
+    return out

@@ -1,0 +1,122 @@
+"""Rendering of experiment rows and series.
+
+The benchmark targets and the example scripts print their results through
+these helpers so the output format is uniform: a fixed-width text table for
+humans plus an optional CSV dump for further processing (the repository has
+no plotting dependency; the CSV columns map one-to-one onto the paper's
+figure axes).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _stringify(value: object, precision: int = 2) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render a list of dict rows as a fixed-width text table.
+
+    Columns default to the union of keys across rows, in first-seen order.
+    Nested values (dicts/lists) are rendered with ``str``.
+    """
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+
+    rendered = [
+        [_stringify(row.get(col), precision) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in rendered:
+        out.write("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) + "\n")
+    return out.getvalue()
+
+
+def format_series(
+    series: Mapping[str, Sequence[Mapping[str, float]]],
+    x_key: str,
+    y_key: str,
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render named series (figure data) as aligned columns of (x, y) pairs."""
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for name, points in series.items():
+        out.write(f"[{name}]\n")
+        for point in points:
+            x = _stringify(point.get(x_key), precision)
+            y = _stringify(point.get(y_key), precision)
+            out.write(f"  {x:>14}  {y:>14}\n")
+    return out.getvalue()
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: str,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Write dict rows to a CSV file; returns the path written."""
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k) for k in columns})
+    return path
+
+
+def series_to_rows(
+    series: Mapping[str, Sequence[Mapping[str, float]]]
+) -> List[Dict[str, object]]:
+    """Flatten named series into rows with a ``series`` column (CSV-friendly)."""
+    rows: List[Dict[str, object]] = []
+    for name, points in series.items():
+        for point in points:
+            row: Dict[str, object] = {"series": name}
+            row.update(point)
+            rows.append(row)
+    return rows

@@ -1,0 +1,175 @@
+"""Measurement machinery for the evaluation experiments.
+
+Throughput numbers in the paper are wall-clock measurements on a K40c.  In
+this reproduction each operation's *simulated* execution time is derived
+from the DRAM traffic it generates (see :mod:`repro.gpu.cost_model`); the
+runner collects those per-operation times from the device profiler and
+aggregates them into the same statistics the paper reports: minimum rate,
+maximum rate, and the **harmonic mean** of the per-operation rates (the
+paper's tables explicitly use harmonic means, the correct mean for rates of
+fixed-size work items).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpu.device import Device
+from repro.gpu.spec import GPUSpec, K40C_SPEC
+
+
+@dataclass
+class RateSummary:
+    """Min / max / harmonic-mean of a set of rates (M items per second)."""
+
+    label: str
+    rates: List[float] = field(default_factory=list)
+
+    def add(self, rate: float) -> None:
+        if rate <= 0 or not np.isfinite(rate):
+            raise ValueError(f"rates must be positive and finite, got {rate}")
+        self.rates.append(float(rate))
+
+    @property
+    def count(self) -> int:
+        return len(self.rates)
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.rates)) if self.rates else float("nan")
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.rates)) if self.rates else float("nan")
+
+    @property
+    def harmonic_mean(self) -> float:
+        """Harmonic mean of the rates — the paper's "mean rate" column."""
+        if not self.rates:
+            return float("nan")
+        rates = np.asarray(self.rates, dtype=np.float64)
+        return float(len(rates) / np.sum(1.0 / rates))
+
+    def as_row(self) -> dict:
+        """Flat dict row for the report writer."""
+        return {
+            "label": self.label,
+            "samples": self.count,
+            "min_rate": self.min,
+            "max_rate": self.max,
+            "mean_rate": self.harmonic_mean,
+        }
+
+    @staticmethod
+    def combined_harmonic_mean(summaries: Sequence["RateSummary"]) -> float:
+        """Harmonic mean across several summaries' mean rates (used for the
+        "mean over all batch sizes" rows of Tables II and III)."""
+        means = [s.harmonic_mean for s in summaries if s.count]
+        if not means:
+            return float("nan")
+        means = np.asarray(means, dtype=np.float64)
+        return float(len(means) / np.sum(1.0 / means))
+
+
+#: Problem sizes used by the paper's experiments; the scaled-down
+#: reproductions divide the kernel-launch overhead by the size reduction so
+#: the overhead-to-bandwidth balance matches the paper's scale (see
+#: :func:`scaled_spec`).
+PAPER_INSERTION_ELEMENTS = 1 << 27
+PAPER_QUERY_ELEMENTS = 1 << 24
+
+
+def scaled_spec(
+    total_elements: int,
+    paper_elements: int,
+    spec: GPUSpec = K40C_SPEC,
+) -> GPUSpec:
+    """Device spec with the launch overhead scaled to the reproduction size.
+
+    The paper's experiments run at 2^24–2^27 elements, where per-kernel
+    launch latency (a few microseconds) is negligible next to the DRAM
+    traffic of each operation.  A reproduction at 2^14–2^18 elements moves
+    proportionally fewer bytes per kernel but launches the *same number* of
+    kernels, so an unscaled simulation would be dominated by a constant the
+    paper's measurements never see.  Dividing the launch overhead by the
+    size reduction keeps the two cost terms in the same ratio as at paper
+    scale, which is what preserves the tables' shapes; it does not change
+    which structure wins on bandwidth.
+    """
+    if total_elements <= 0 or paper_elements <= 0:
+        raise ValueError("element counts must be positive")
+    factor = max(1.0, paper_elements / total_elements)
+    return spec.with_overrides(
+        kernel_launch_overhead_us=spec.kernel_launch_overhead_us / factor
+    )
+
+
+class ExperimentRunner:
+    """Runs operations on a dedicated simulated device and extracts rates.
+
+    Each :class:`ExperimentRunner` owns its own :class:`~repro.gpu.Device`
+    so experiments cannot contaminate each other's traffic counters; the
+    convention is one runner per table/figure cell.
+    """
+
+    def __init__(self, spec: GPUSpec = K40C_SPEC, seed: int = 0) -> None:
+        self.spec = spec
+        self.device = Device(spec, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Core measurement helpers
+    # ------------------------------------------------------------------ #
+    def measure(self, items: int, fn: Callable[[], object]) -> float:
+        """Run ``fn`` and return its simulated rate in M items/s.
+
+        The rate is computed from the traffic recorded *by this call only*
+        (a snapshot difference), so previous operations on the same device
+        do not leak in.
+        """
+        before = self.device.snapshot()
+        fn()
+        seconds = self.device.elapsed_since(before)
+        if seconds <= 0:
+            raise RuntimeError("operation recorded no simulated time")
+        return items / seconds / 1e6
+
+    def measure_seconds(self, fn: Callable[[], object]) -> float:
+        """Run ``fn`` and return its simulated execution time in seconds."""
+        before = self.device.snapshot()
+        fn()
+        return self.device.elapsed_since(before)
+
+    # ------------------------------------------------------------------ #
+    # Utility
+    # ------------------------------------------------------------------ #
+    def fresh_device(self, seed: int = 0) -> Device:
+        """Replace the runner's device with a fresh one (new experiment cell)."""
+        self.device = Device(self.spec, seed=seed)
+        return self.device
+
+
+def sample_resident_counts(max_batches: int, limit: int) -> List[int]:
+    """Choose which resident-batch counts ``r`` to evaluate.
+
+    The paper evaluates *every* ``1 <= r <= n/b``; at reproduction scale we
+    cap the number of sampled ``r`` values per batch size at ``limit``,
+    always including 1 (single level) and ``max_batches`` (every level that
+    can be full is full — the worst case for queries, best case coverage for
+    the min/max statistics).
+    """
+    if max_batches < 1:
+        raise ValueError("max_batches must be at least 1")
+    if limit < 1:
+        raise ValueError("limit must be at least 1")
+    if max_batches <= limit:
+        return list(range(1, max_batches + 1))
+    picks = np.linspace(1, max_batches, num=limit)
+    chosen = sorted({int(round(p)) for p in picks})
+    if 1 not in chosen:
+        chosen.insert(0, 1)
+    if max_batches not in chosen:
+        chosen.append(max_batches)
+    return chosen

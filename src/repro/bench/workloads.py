@@ -1,0 +1,150 @@
+"""Workload generators for the evaluation experiments.
+
+The paper's experiments use uniformly random 32-bit keys ("We randomly
+generate n = 2^27 elements"), lookup query populations in which either none
+or all of the queried keys exist (Table III), and count/range queries whose
+argument ``(k1, k2)`` has an *expected* number of matching keys ``L``
+(Table IV uses L = 8 and L = 1024).  These generators reproduce those
+distributions deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.encoding import MAX_KEY
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Description of one generated workload.
+
+    Attributes
+    ----------
+    num_elements:
+        Number of key/value pairs in the dataset.
+    key_space:
+        Keys are drawn uniformly from ``[0, key_space)``.  Defaults to the
+        full 31-bit original-key domain minus a small guard band reserved
+        for guaranteed-missing query keys.
+    unique:
+        When true the generated keys are distinct (the paper's insertion
+        experiments effectively operate on unique random keys because
+        duplicates in a 2^27 sample of a 2^31 space are rare; tests that
+        depend on exact counts require uniqueness).
+    seed:
+        RNG seed.
+    """
+
+    num_elements: int
+    key_space: int = MAX_KEY - (1 << 20)
+    unique: bool = True
+    seed: int = 0xC0FFEE
+
+    def __post_init__(self) -> None:
+        if self.num_elements <= 0:
+            raise ValueError("num_elements must be positive")
+        if self.key_space <= 1 or self.key_space > MAX_KEY:
+            raise ValueError("key_space must be in (1, MAX_KEY]")
+        if self.unique and self.num_elements > self.key_space:
+            raise ValueError("cannot draw that many unique keys from the key space")
+
+
+@dataclass
+class Workload:
+    """A generated dataset plus query populations derived from it."""
+
+    config: WorkloadConfig
+    keys: np.ndarray
+    values: np.ndarray
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.keys.size)
+
+    # ------------------------------------------------------------------ #
+    # Query populations (Table III scenarios)
+    # ------------------------------------------------------------------ #
+    def existing_queries(self, count: int, seed: int = 1) -> np.ndarray:
+        """``count`` query keys drawn from the dataset ("all exist")."""
+        rng = np.random.default_rng(self.config.seed + seed)
+        idx = rng.integers(0, self.keys.size, count)
+        return self.keys[idx]
+
+    def missing_queries(self, count: int, seed: int = 2) -> np.ndarray:
+        """``count`` query keys guaranteed absent from the dataset.
+
+        Missing keys are drawn from the guard band above ``key_space`` that
+        :class:`WorkloadConfig` reserves, so no membership check is needed.
+        """
+        rng = np.random.default_rng(self.config.seed + seed)
+        low = self.config.key_space
+        high = MAX_KEY + 1
+        return rng.integers(low, high, count, dtype=np.uint64).astype(np.uint32)
+
+    def range_queries(
+        self, count: int, expected_width: int, seed: int = 3
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Range arguments ``(k1, k2)`` with an expected ``L`` matches each.
+
+        With ``num_elements`` keys uniform over ``key_space``, a key-space
+        window of width ``expected_width * key_space / num_elements``
+        contains ``expected_width`` keys in expectation — the construction
+        the paper's Table IV uses for L = 8 and L = 1024.
+        """
+        if expected_width <= 0:
+            raise ValueError("expected_width must be positive")
+        rng = np.random.default_rng(self.config.seed + seed)
+        window = max(1, int(round(expected_width * self.config.key_space
+                                  / self.num_elements)))
+        # A very wide target on a small dataset can ask for a window larger
+        # than the key space itself; clamp so the bounds stay inside the
+        # 31-bit original-key domain (the query then simply covers
+        # everything, which is the correct degenerate behaviour).
+        window = min(window, self.config.key_space - 1)
+        max_start = max(1, self.config.key_space - window)
+        k1 = rng.integers(0, max_start, count, dtype=np.uint64).astype(np.uint32)
+        k2 = np.minimum(k1.astype(np.uint64) + window,
+                        MAX_KEY).astype(np.uint32)
+        return k1, k2
+
+    # ------------------------------------------------------------------ #
+    # Batch views
+    # ------------------------------------------------------------------ #
+    def batches(self, batch_size: int):
+        """Yield ``(keys, values)`` slices of ``batch_size`` elements.
+
+        The trailing partial batch, if any, is dropped — the insertion
+        experiments operate on whole batches only, like the paper's.
+        """
+        full = (self.num_elements // batch_size) * batch_size
+        for start in range(0, full, batch_size):
+            stop = start + batch_size
+            yield self.keys[start:stop], self.values[start:stop]
+
+
+def make_workload(config: WorkloadConfig) -> Workload:
+    """Generate the dataset described by ``config``."""
+    rng = np.random.default_rng(config.seed)
+    if config.unique:
+        # Sampling without replacement from a huge space: draw extra keys,
+        # deduplicate, top up until the target count is reached.
+        needed = config.num_elements
+        chunks = []
+        seen_total = 0
+        while seen_total < needed:
+            draw = rng.integers(
+                0, config.key_space, int(needed * 1.1) + 16, dtype=np.uint64
+            )
+            chunks.append(draw)
+            merged = np.unique(np.concatenate(chunks))
+            seen_total = merged.size
+        keys = rng.permutation(merged)[:needed].astype(np.uint32)
+    else:
+        keys = rng.integers(0, config.key_space, config.num_elements, dtype=np.uint64)
+        keys = keys.astype(np.uint32)
+    values = rng.integers(0, 1 << 31, config.num_elements, dtype=np.uint32)
+    return Workload(config=config, keys=keys, values=values)

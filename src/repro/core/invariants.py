@@ -1,0 +1,88 @@
+"""Checkers for the GPU LSM's building invariants (Section III-D).
+
+The paper guarantees three invariants during insertion and deletion:
+
+1. within each level, elements are sorted by (original) key, so equal keys
+   form a contiguous segment;
+2. within each equal-key segment, elements are ordered most-recent-first;
+3. tombstones within a segment precede regular elements with the same key
+   *that they shadow* — concretely, because a batch is sorted with the
+   status bit included and merges are stable with the newer side first, any
+   element that should be invisible appears strictly after the tombstone or
+   replacement that shadows it.
+
+Invariant 2 cannot be checked from a level in isolation (the insertion time
+of each element is not stored), so the checkers verify the structural
+consequences that *are* observable: per-level key ordering, level
+occupancy/shape (full or empty, capacity ``b * 2**i``), and the consistency
+of the batch counter with the set of occupied levels.  The temporal ordering
+itself is exercised end-to-end by the semantics tests against
+:class:`repro.core.semantics.ReferenceDictionary`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from repro.core.level import Level
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.lsm import GPULSM
+
+
+class InvariantViolation(AssertionError):
+    """Raised when a structural invariant of the GPU LSM does not hold."""
+
+
+def check_level_invariants(level: Level, encoder) -> None:
+    """Check the per-level invariants of one full level.
+
+    * the level holds exactly ``capacity`` elements,
+    * encoded words are sorted by original key (invariant 1),
+    * values, when present, are aligned with the keys.
+    """
+    if level.is_empty:
+        return
+    keys = level.keys
+    if keys.size != level.capacity:
+        raise InvariantViolation(
+            f"level {level.index} holds {keys.size} elements, expected "
+            f"{level.capacity}"
+        )
+    original = encoder.decode_key(keys)
+    if original.size > 1 and np.any(original[1:] < original[:-1]):
+        raise InvariantViolation(
+            f"level {level.index} is not sorted by original key"
+        )
+    if level.values is not None and level.values.size != keys.size:
+        raise InvariantViolation(
+            f"level {level.index} has {level.values.size} values for "
+            f"{keys.size} keys"
+        )
+
+
+def check_lsm_invariants(lsm: "GPULSM") -> None:
+    """Check the whole structure: occupancy pattern and every full level.
+
+    The occupied levels must be exactly the set bits of the resident batch
+    counter ``r`` (Section III-B), and each occupied level must satisfy
+    :func:`check_level_invariants`.
+    """
+    r = lsm.num_batches
+    occupied_indices = {lvl.index for lvl in lsm.levels if lvl.is_full}
+    expected = {i for i in range(lsm.config.max_levels) if (r >> i) & 1}
+    if occupied_indices != expected:
+        raise InvariantViolation(
+            f"occupied levels {sorted(occupied_indices)} do not match the "
+            f"binary representation of r={r} (expected {sorted(expected)})"
+        )
+    for level in lsm.levels:
+        check_level_invariants(level, lsm.encoder)
+
+    total = sum(lvl.size for lvl in lsm.levels)
+    if total != r * lsm.batch_size:
+        raise InvariantViolation(
+            f"total resident elements {total} != r*b = {r * lsm.batch_size}"
+        )

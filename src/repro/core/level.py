@@ -1,0 +1,107 @@
+"""A single LSM level: a sorted array of encoded keys (and values).
+
+Section III-B: "the size of level *i* in the GPU LSM is ``b * 2**i``, and at
+any time the whole data structure contains a multiple of ``b`` elements.
+Each level is completely full or completely empty."
+
+A :class:`Level` is a plain container — the algorithms live in
+:class:`repro.core.lsm.GPULSM` — but it owns its occupancy state and basic
+sanity checks so that misuse (filling an occupied level, reading an empty
+one) fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class LevelStateError(RuntimeError):
+    """Raised when a level is filled while full or read while empty."""
+
+
+@dataclass
+class Level:
+    """One level of the GPU LSM.
+
+    Attributes
+    ----------
+    index:
+        Level index *i*; the capacity is ``batch_size * 2**i``.
+    capacity:
+        Number of elements the level holds when full.
+    keys / values:
+        Encoded key array and value array, both of length ``capacity`` when
+        the level is full, ``None`` when empty.  ``values`` stays ``None``
+        in key-only dictionaries.
+    """
+
+    index: int
+    capacity: int
+    keys: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("level index must be non-negative")
+        if self.capacity <= 0:
+            raise ValueError("level capacity must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Occupancy
+    # ------------------------------------------------------------------ #
+    @property
+    def is_full(self) -> bool:
+        """True when the level currently holds a sorted run."""
+        return self.keys is not None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.keys is None
+
+    @property
+    def size(self) -> int:
+        """Number of resident elements (0 or ``capacity``)."""
+        return 0 if self.keys is None else int(self.keys.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of device memory the level currently occupies."""
+        total = 0
+        if self.keys is not None:
+            total += int(self.keys.nbytes)
+        if self.values is not None:
+            total += int(self.values.nbytes)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # State transitions
+    # ------------------------------------------------------------------ #
+    def fill(self, keys: np.ndarray, values: Optional[np.ndarray]) -> None:
+        """Populate an empty level with a sorted run of exactly ``capacity``
+        elements."""
+        if self.is_full:
+            raise LevelStateError(f"level {self.index} is already full")
+        keys = np.asarray(keys)
+        if keys.size != self.capacity:
+            raise LevelStateError(
+                f"level {self.index} expects exactly {self.capacity} elements, "
+                f"got {keys.size}"
+            )
+        if values is not None:
+            values = np.asarray(values)
+            if values.size != keys.size:
+                raise LevelStateError("values must match keys in length")
+        self.keys = keys
+        self.values = values
+
+    def clear(self) -> None:
+        """Empty the level (after its contents were merged downwards)."""
+        self.keys = None
+        self.values = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "full" if self.is_full else "empty"
+        return f"Level(index={self.index}, capacity={self.capacity}, {state})"

@@ -1,0 +1,846 @@
+"""The GPU LSM dictionary (paper Sections III and IV).
+
+The data structure keeps at most ``max_levels`` levels; level *i* holds
+``b * 2**i`` elements and is completely full or completely empty.  With
+``r`` resident batches, the occupied levels are the set bits of ``r``.
+Updates (mixed insertions and tombstoned deletions) arrive in batches of
+exactly ``b`` encoded elements; an update sorts the batch (status bit
+included) and then merges it down the cascade of full levels — the binary
+"increment with carries" of Section III-B.  Queries never modify the
+structure; stale elements (replaced duplicates and deleted keys) remain
+physically present but are invisible to queries until :meth:`GPULSM.cleanup`
+removes them.
+
+Every operation is expressed in terms of the bulk primitives of
+:mod:`repro.primitives` — radix sort, stable merge with a status-bit-blind
+comparator, lower/upper bound searches, scan, segmented sort, compaction and
+multisplit — exactly the decomposition of the original CUDA implementation,
+and each operation is wrapped in a profiler region so the benchmark harness
+can convert the recorded memory traffic into the simulated throughput
+numbers reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.batch import UpdateBatch, build_update_batch
+from repro.core.config import LSMConfig
+from repro.core.encoding import KeyEncoder, STATUS_REGULAR, STATUS_TOMBSTONE
+from repro.core.level import Level
+from repro.gpu.device import Device, get_default_device
+from repro.primitives.merge import merge_keys, merge_pairs
+from repro.primitives.radix_sort import RadixSortConfig, radix_sort_keys, radix_sort_pairs
+from repro.primitives.scan import exclusive_scan
+from repro.primitives.search import lower_bound, upper_bound
+from repro.primitives.segmented_sort import segmented_sort_keys, segmented_sort_pairs
+from repro.primitives.compact import segmented_compact
+from repro.primitives.multisplit import multisplit_pairs, multisplit_keys
+
+
+@dataclass
+class LookupResult:
+    """Result of a batch of LOOKUP queries.
+
+    ``found[i]`` is true iff query *i*'s key is present (inserted and not
+    subsequently deleted); ``values[i]`` then holds its most recent value
+    (undefined — zero — otherwise).  ``values`` is ``None`` for key-only
+    dictionaries.
+    """
+
+    found: np.ndarray
+    values: Optional[np.ndarray]
+
+    def __len__(self) -> int:
+        return int(self.found.size)
+
+
+@dataclass
+class RangeResult:
+    """Result of a batch of RANGE queries.
+
+    The layout mirrors the paper's output format (Section IV-D): one flat
+    buffer of valid results sorted by key, plus per-query offsets.  Query
+    *q*'s results are ``keys[offsets[q]:offsets[q+1]]`` (and the aligned
+    slice of ``values``).
+    """
+
+    offsets: np.ndarray
+    keys: np.ndarray
+    values: Optional[np.ndarray]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Number of valid results per query."""
+        return np.diff(self.offsets)
+
+    def query_slice(self, q: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Keys (and values) returned for query ``q``."""
+        lo, hi = int(self.offsets[q]), int(self.offsets[q + 1])
+        vals = None if self.values is None else self.values[lo:hi]
+        return self.keys[lo:hi], vals
+
+    def __len__(self) -> int:
+        return int(self.offsets.size - 1)
+
+
+class GPULSM:
+    """Dynamic GPU dictionary based on the Log-Structured Merge tree.
+
+    Parameters
+    ----------
+    batch_size:
+        The paper's ``b`` (power of two); ignored if ``config`` is given.
+    device:
+        Simulated device to run on; defaults to the process-wide device.
+    key_only:
+        When true, no value arrays are stored (the paper's Fig. 2 pseudocode
+        configuration); ``insert`` then takes keys only.
+    config:
+        Full :class:`LSMConfig`; overrides ``batch_size``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import GPULSM
+    >>> lsm = GPULSM(batch_size=4, key_only=True)
+    >>> lsm.insert(np.array([5, 1, 9, 3]))
+    >>> bool(lsm.lookup(np.array([9]))[0])
+    True
+    >>> lsm.delete(np.array([9, 9, 9, 9]))
+    >>> bool(lsm.lookup(np.array([9]))[0])
+    False
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 1 << 16,
+        device: Optional[Device] = None,
+        key_only: bool = False,
+        config: Optional[LSMConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else LSMConfig(batch_size=batch_size)
+        self.device = device or get_default_device()
+        self.key_only = key_only
+        self.encoder: KeyEncoder = self.config.encoder
+        self.levels: List[Level] = []
+        #: Number of resident batches (the paper's ``r``); the occupied
+        #: levels are exactly the set bits of this counter.
+        self.num_batches = 0
+        #: Lifetime counters used by the cleanup-policy helpers and reports.
+        self.total_insertions = 0
+        self.total_deletions = 0
+        self.total_cleanups = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_size(self) -> int:
+        """The configured batch size ``b``."""
+        return self.config.batch_size
+
+    @property
+    def num_elements(self) -> int:
+        """Number of physically resident elements, stale ones included."""
+        return self.num_batches * self.batch_size
+
+    @property
+    def num_levels_allocated(self) -> int:
+        """Number of level slots currently instantiated."""
+        return len(self.levels)
+
+    def occupied_levels(self) -> List[Level]:
+        """Full levels ordered from most recent (smallest) to oldest."""
+        return [lvl for lvl in self.levels if lvl.is_full]
+
+    @property
+    def num_occupied_levels(self) -> int:
+        """Population count of the batch counter."""
+        return sum(1 for lvl in self.levels if lvl.is_full)
+
+    @property
+    def memory_usage_bytes(self) -> int:
+        """Device bytes held by the resident levels."""
+        return sum(lvl.nbytes for lvl in self.levels)
+
+    def __len__(self) -> int:
+        return self.num_elements
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GPULSM(b={self.batch_size}, batches={self.num_batches}, "
+            f"elements={self.num_elements}, levels={self.num_occupied_levels})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Level bookkeeping
+    # ------------------------------------------------------------------ #
+    def _level(self, index: int) -> Level:
+        """Return level ``index``, creating empty levels up to it on demand."""
+        if index >= self.config.max_levels:
+            raise OverflowError(
+                f"GPU LSM overflow: level {index} exceeds max_levels="
+                f"{self.config.max_levels}"
+            )
+        while len(self.levels) <= index:
+            i = len(self.levels)
+            self.levels.append(Level(index=i, capacity=self.config.level_capacity(i)))
+        return self.levels[index]
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def insert(self, keys: np.ndarray, values: Optional[np.ndarray] = None) -> None:
+        """Insert a batch of key(/value) pairs.
+
+        ``keys`` may hold up to ``batch_size`` elements; shorter batches are
+        padded per Section IV-A.  ``values`` is required unless the
+        dictionary is key-only.
+        """
+        batch = build_update_batch(
+            self.config,
+            insert_keys=keys,
+            insert_values=values,
+            key_only=self.key_only,
+        )
+        self._push_batch(batch)
+
+    def delete(self, keys: np.ndarray) -> None:
+        """Delete a batch of keys by inserting tombstones (Section III-C)."""
+        batch = build_update_batch(
+            self.config, delete_keys=keys, key_only=self.key_only
+        )
+        self._push_batch(batch)
+
+    def update(
+        self,
+        insert_keys: Optional[np.ndarray] = None,
+        insert_values: Optional[np.ndarray] = None,
+        delete_keys: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply one mixed batch of insertions and deletions."""
+        batch = build_update_batch(
+            self.config,
+            insert_keys=insert_keys,
+            insert_values=insert_values,
+            delete_keys=delete_keys,
+            key_only=self.key_only,
+        )
+        self._push_batch(batch)
+
+    def _push_batch(self, batch: UpdateBatch) -> None:
+        """Sort the batch and run the merge cascade (Fig. 2a / Fig. 3)."""
+        if self.num_batches >= self.config.max_resident_batches:
+            raise OverflowError("GPU LSM is full: maximum resident batches reached")
+
+        with self.device.timed_region("lsm.insert_batch", items=batch.size):
+            # Sort the new batch over the *full* encoded word — status bit
+            # included — so tombstones precede regular elements of the same
+            # key within the batch (Fig. 3 line 9).
+            if self.key_only:
+                buf_keys = radix_sort_keys(batch.encoded_keys, device=self.device)
+                buf_values: Optional[np.ndarray] = None
+            else:
+                buf_keys, buf_values = radix_sort_pairs(
+                    batch.encoded_keys, batch.values, device=self.device
+                )
+
+            # Merge cascade: while level i is full, merge (buffer, level i)
+            # with a comparator that ignores the status bit, keeping the
+            # buffer's (newer) elements first among equal keys.
+            i = 0
+            while self._level(i).is_full:
+                level = self.levels[i]
+                if self.key_only:
+                    buf_keys = merge_keys(
+                        buf_keys,
+                        level.keys,
+                        key=self.encoder.strip_status,
+                        device=self.device,
+                        kernel_name="lsm.merge_level",
+                    )
+                else:
+                    buf_keys, buf_values = merge_pairs(
+                        buf_keys,
+                        buf_values,
+                        level.keys,
+                        level.values,
+                        key=self.encoder.strip_status,
+                        device=self.device,
+                        kernel_name="lsm.merge_level",
+                    )
+                level.clear()
+                i += 1
+
+            # Copy the buffer into the first empty level (Fig. 3 line 20).
+            target = self._level(i)
+            target.fill(buf_keys, buf_values)
+            self.device.record_kernel(
+                "lsm.store_level",
+                coalesced_read_bytes=0,
+                coalesced_write_bytes=target.nbytes,
+                work_items=target.size,
+            )
+            self.num_batches += 1
+            self.total_insertions += batch.num_insertions
+            self.total_deletions += batch.num_deletions
+
+        if self.config.validate_invariants:
+            from repro.core.invariants import check_lsm_invariants
+
+            check_lsm_invariants(self)
+
+    # ------------------------------------------------------------------ #
+    # Bulk build
+    # ------------------------------------------------------------------ #
+    def bulk_build(
+        self, keys: np.ndarray, values: Optional[np.ndarray] = None
+    ) -> None:
+        """Build the LSM from scratch out of ``k*b`` elements (Section V-B).
+
+        The whole input is radix sorted once (status bit included — the
+        input is all regular insertions) and then sliced into the levels
+        corresponding to the set bits of ``k``; this is faster than ``k``
+        batch insertions because each element is moved O(1) times instead of
+        O(log k).  Inputs that are not a multiple of ``b`` are padded with
+        duplicates of the last element, like a partial batch.
+        """
+        if self.num_batches != 0:
+            raise RuntimeError("bulk_build requires an empty GPU LSM")
+        keys = np.asarray(keys)
+        if keys.ndim != 1 or keys.size == 0:
+            raise ValueError("bulk_build requires a non-empty 1-D key array")
+        if not self.key_only:
+            if values is None:
+                raise ValueError("values are required unless key_only=True")
+            values = np.asarray(values, dtype=self.config.value_dtype)
+            if values.shape != keys.shape:
+                raise ValueError("values must match keys in shape")
+
+        b = self.batch_size
+        num_batches = -(-keys.size // b)
+        padded_n = num_batches * b
+
+        encoded = np.empty(padded_n, dtype=self.config.key_dtype)
+        encoded[: keys.size] = self.encoder.encode(keys, STATUS_REGULAR)
+        encoded[keys.size :] = encoded[keys.size - 1]
+        if self.key_only:
+            padded_values = None
+        else:
+            padded_values = np.empty(padded_n, dtype=self.config.value_dtype)
+            padded_values[: keys.size] = values
+            padded_values[keys.size :] = padded_values[keys.size - 1]
+
+        with self.device.timed_region("lsm.bulk_build", items=padded_n):
+            if self.key_only:
+                sorted_keys = radix_sort_keys(encoded, device=self.device)
+                sorted_values = None
+            else:
+                sorted_keys, sorted_values = radix_sort_pairs(
+                    encoded, padded_values, device=self.device
+                )
+            self._distribute_sorted(sorted_keys, sorted_values, num_batches)
+            self.total_insertions += keys.size
+
+        if self.config.validate_invariants:
+            from repro.core.invariants import check_lsm_invariants
+
+            check_lsm_invariants(self)
+
+    def _distribute_sorted(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_values: Optional[np.ndarray],
+        num_batches: int,
+    ) -> None:
+        """Slice one big sorted run into the levels for ``num_batches``.
+
+        Slices are assigned in ascending key order to the occupied levels
+        from the smallest to the largest — "smaller keys will end up in
+        smaller levels" (Section IV-E) — which is correct because queries
+        search every occupied level anyway.
+        """
+        for lvl in self.levels:
+            lvl.clear()
+        offset = 0
+        for i in range(self.config.max_levels):
+            if not (num_batches >> i) & 1:
+                continue
+            size = self.config.level_capacity(i)
+            level = self._level(i)
+            level.fill(
+                sorted_keys[offset : offset + size].copy(),
+                None
+                if sorted_values is None
+                else sorted_values[offset : offset + size].copy(),
+            )
+            offset += size
+        if offset != sorted_keys.size:
+            raise AssertionError("level distribution did not consume the input")
+        self.num_batches = num_batches
+        self.device.record_kernel(
+            "lsm.distribute_levels",
+            coalesced_read_bytes=sorted_keys.nbytes
+            + (sorted_values.nbytes if sorted_values is not None else 0),
+            coalesced_write_bytes=sorted_keys.nbytes
+            + (sorted_values.nbytes if sorted_values is not None else 0),
+            work_items=sorted_keys.size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def lookup(self, query_keys: np.ndarray) -> LookupResult:
+        """Batch LOOKUP: most recent value per key, or "not found".
+
+        One simulated thread per query walks the occupied levels from the
+        most recent (smallest index) to the oldest and performs a
+        lower-bound search in each (Section IV-B); it stops at the first
+        level containing the query key — returning the value if that
+        element is regular, "not found" if it is a tombstone.
+        """
+        query_keys = np.asarray(query_keys)
+        if query_keys.ndim != 1:
+            raise ValueError("lookup expects a one-dimensional query array")
+        nq = query_keys.size
+
+        found = np.zeros(nq, dtype=bool)
+        values = (
+            None if self.key_only else np.zeros(nq, dtype=self.config.value_dtype)
+        )
+        if nq == 0:
+            return LookupResult(found=found, values=values)
+        if query_keys.size and int(query_keys.max()) > self.encoder.max_key:
+            raise ValueError("query keys exceed the 31-bit original-key domain")
+
+        resolved = np.zeros(nq, dtype=bool)
+        with self.device.timed_region("lsm.lookup", items=nq):
+            for level in self.occupied_levels():
+                pending = np.flatnonzero(~resolved)
+                if pending.size == 0:
+                    break
+                q = query_keys[pending]
+                probes = self.encoder.lower_probe(q)
+                pos = lower_bound(
+                    level.keys, probes, device=self.device,
+                    kernel_name="lsm.lookup.lower_bound",
+                )
+                in_range = pos < level.size
+                pos_c = np.minimum(pos, level.size - 1)
+                words = level.keys[pos_c]
+                match = in_range & (
+                    self.encoder.decode_key(words)
+                    == q.astype(self.config.key_dtype)
+                )
+                regular = self.encoder.is_regular(words)
+
+                hit = match & regular
+                hit_idx = pending[hit]
+                found[hit_idx] = True
+                if values is not None and level.values is not None:
+                    values[hit_idx] = level.values[pos_c[hit]]
+                resolved[pending[match]] = True
+
+        return LookupResult(found=found, values=values)
+
+    # ------------------------------------------------------------------ #
+    # Count and range queries
+    # ------------------------------------------------------------------ #
+    def count(self, k1: np.ndarray, k2: np.ndarray) -> np.ndarray:
+        """Batch COUNT: number of live keys in ``[k1, k2]`` per query."""
+        k1, k2 = self._check_range_args(k1, k2)
+        nq = k1.size
+        if nq == 0:
+            return np.zeros(0, dtype=np.int64)
+        with self.device.timed_region("lsm.count", items=nq):
+            cand_keys, _, query_offsets = self._gather_candidates(
+                k1, k2, with_values=False
+            )
+            sorted_keys = segmented_sort_keys(
+                cand_keys,
+                query_offsets[:-1],
+                key=self.encoder.strip_status,
+                device=self.device,
+                kernel_name="lsm.count.segmented_sort",
+            )
+            valid = self._validate_candidates(sorted_keys, query_offsets)
+            counts = self._per_query_counts(valid, query_offsets)
+        return counts
+
+    def range_query(self, k1: np.ndarray, k2: np.ndarray) -> RangeResult:
+        """Batch RANGE: all live ``(key, value)`` pairs in ``[k1, k2]``.
+
+        Results are returned in the paper's flat layout: per-query offsets
+        into one buffer of keys (and values) sorted by key within each
+        query.
+        """
+        k1, k2 = self._check_range_args(k1, k2)
+        nq = k1.size
+        if nq == 0:
+            empty_vals = None if self.key_only else np.zeros(0, self.config.value_dtype)
+            return RangeResult(
+                offsets=np.zeros(1, dtype=np.int64),
+                keys=np.zeros(0, dtype=np.uint64),
+                values=empty_vals,
+            )
+        with self.device.timed_region("lsm.range", items=nq):
+            cand_keys, cand_values, query_offsets = self._gather_candidates(
+                k1, k2, with_values=not self.key_only
+            )
+            if self.key_only:
+                sorted_keys = segmented_sort_keys(
+                    cand_keys,
+                    query_offsets[:-1],
+                    key=self.encoder.strip_status,
+                    device=self.device,
+                    kernel_name="lsm.range.segmented_sort",
+                )
+                sorted_values = None
+            else:
+                sorted_keys, sorted_values = segmented_sort_pairs(
+                    cand_keys,
+                    cand_values,
+                    query_offsets[:-1],
+                    key=self.encoder.strip_status,
+                    device=self.device,
+                    kernel_name="lsm.range.segmented_sort",
+                )
+            valid = self._validate_candidates(sorted_keys, query_offsets)
+
+            out_keys, new_offsets = segmented_compact(
+                sorted_keys,
+                valid,
+                query_offsets[:-1],
+                device=self.device,
+                kernel_name="lsm.range.compact",
+            )
+            if sorted_values is not None:
+                out_values = sorted_values[valid]
+                self.device.record_kernel(
+                    "lsm.range.compact_values",
+                    coalesced_read_bytes=sorted_values.nbytes + valid.size,
+                    coalesced_write_bytes=out_values.nbytes,
+                    work_items=sorted_values.size,
+                )
+            else:
+                out_values = None
+
+        return RangeResult(
+            offsets=new_offsets,
+            keys=self.encoder.decode_key(out_keys).astype(np.uint64),
+            values=out_values,
+        )
+
+    def _check_range_args(
+        self, k1: np.ndarray, k2: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        k1 = np.asarray(k1)
+        k2 = np.asarray(k2)
+        if k1.ndim != 1 or k2.shape != k1.shape:
+            raise ValueError("k1 and k2 must be one-dimensional and equally long")
+        if k1.size:
+            if int(k1.max()) > self.encoder.max_key or int(k2.max()) > self.encoder.max_key:
+                raise ValueError("range bounds exceed the original-key domain")
+            if np.any(k2 < k1):
+                raise ValueError("every range must satisfy k1 <= k2")
+        return k1, k2
+
+    def _gather_candidates(
+        self, k1: np.ndarray, k2: np.ndarray, with_values: bool
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+        """Stages 1–3 of COUNT/RANGE (Fig. 2c lines 4–14).
+
+        Returns the concatenated candidate words (and values) plus
+        per-query offsets of length ``num_queries + 1``.  Candidates of one
+        query are contiguous, ordered from the most recent level to the
+        oldest, each level's contribution key-sorted — the order the
+        segmented sort needs to preserve recency among equal keys.
+        """
+        levels = self.occupied_levels()
+        nq = k1.size
+        num_levels = len(levels)
+
+        if num_levels == 0:
+            offsets = np.zeros(nq + 1, dtype=np.int64)
+            empty_vals = (
+                np.zeros(0, dtype=self.config.value_dtype) if with_values else None
+            )
+            return np.zeros(0, dtype=self.config.key_dtype), empty_vals, offsets
+
+        # Stage 1: per-(query, level) lower/upper bounds and count estimates.
+        lows = np.empty((nq, num_levels), dtype=np.int64)
+        ups = np.empty((nq, num_levels), dtype=np.int64)
+        for j, level in enumerate(levels):
+            lows[:, j] = lower_bound(
+                level.keys,
+                self.encoder.lower_probe(k1),
+                device=self.device,
+                kernel_name="lsm.query.lower_bound",
+            )
+            ups[:, j] = upper_bound(
+                level.keys,
+                self.encoder.upper_probe(k2),
+                device=self.device,
+                kernel_name="lsm.query.upper_bound",
+            )
+        counts = ups - lows  # candidates per (query, level)
+
+        # Stage 2: device-wide exclusive scan gives each (query, level)
+        # chunk its output offset; query-major order keeps each query's
+        # candidates contiguous.
+        flat_counts = counts.reshape(-1)
+        flat_offsets, total = exclusive_scan(
+            flat_counts, device=self.device, kernel_name="lsm.query.scan"
+        )
+        offsets_2d = flat_offsets.reshape(nq, num_levels)
+
+        # Per-query segment offsets (+ total sentinel).
+        query_offsets = np.empty(nq + 1, dtype=np.int64)
+        query_offsets[:-1] = offsets_2d[:, 0]
+        query_offsets[-1] = total
+
+        # Stage 3: gather candidates, one level at a time (vectorised over
+        # all queries; warp-cooperative coalesced writes on the device).
+        cand_keys = np.empty(total, dtype=self.config.key_dtype)
+        cand_values = (
+            np.empty(total, dtype=self.config.value_dtype) if with_values else None
+        )
+        gathered_bytes = 0
+        for j, level in enumerate(levels):
+            lengths = counts[:, j]
+            chunk_total = int(lengths.sum())
+            if chunk_total == 0:
+                continue
+            # Ragged gather: destination and source index vectors for all
+            # queries' chunks from this level at once.
+            dest_start = offsets_2d[:, j]
+            src_start = lows[:, j]
+            seg = np.repeat(np.arange(nq), lengths)
+            within = np.arange(chunk_total) - np.repeat(
+                np.cumsum(lengths) - lengths, lengths
+            )
+            dest = np.repeat(dest_start, lengths) + within
+            src = np.repeat(src_start, lengths) + within
+            cand_keys[dest] = level.keys[src]
+            if cand_values is not None and level.values is not None:
+                cand_values[dest] = level.values[src]
+            per_item = self.config.key_dtype.itemsize + (
+                self.config.value_dtype.itemsize if cand_values is not None else 0
+            )
+            gathered_bytes += chunk_total * per_item
+
+        self.device.record_kernel(
+            "lsm.query.gather",
+            coalesced_read_bytes=gathered_bytes,
+            coalesced_write_bytes=gathered_bytes,
+            work_items=int(total),
+            launches=num_levels,
+        )
+        return cand_keys, cand_values, query_offsets
+
+    def _validate_candidates(
+        self, sorted_words: np.ndarray, query_offsets: np.ndarray
+    ) -> np.ndarray:
+        """Stage 5 of COUNT/RANGE: mark the valid candidates.
+
+        After the segmented sort, all copies of an original key within a
+        query's segment are adjacent and ordered most-recent-first.  An
+        element is a *valid* result iff it is the first of its equal-key run
+        and is not a tombstone.  On the device this is a warp-ballot
+        neighbourhood comparison; here it is one vectorised pass.
+        """
+        n = sorted_words.size
+        valid = np.zeros(n, dtype=bool)
+        if n == 0:
+            return valid
+        orig = self.encoder.decode_key(sorted_words)
+        run_start = np.ones(n, dtype=bool)
+        run_start[1:] = orig[1:] != orig[:-1]
+        # Segment boundaries also start runs (a key may span two queries'
+        # segments without being the same logical run).
+        starts = query_offsets[:-1]
+        starts = starts[(starts > 0) & (starts < n)]
+        run_start[starts] = True
+        valid = run_start & self.encoder.is_regular(sorted_words)
+
+        self.device.record_kernel(
+            "lsm.query.validate",
+            coalesced_read_bytes=sorted_words.nbytes,
+            coalesced_write_bytes=n,  # one flag byte per candidate
+            work_items=n,
+        )
+        return valid
+
+    def _per_query_counts(
+        self, valid: np.ndarray, query_offsets: np.ndarray
+    ) -> np.ndarray:
+        """Sum the validity flags of each query's segment (warp ballots +
+        popc on the device, a reduceat here)."""
+        nq = query_offsets.size - 1
+        counts = np.zeros(nq, dtype=np.int64)
+        if valid.size:
+            prefix = np.concatenate(([0], np.cumsum(valid.astype(np.int64))))
+            counts = prefix[query_offsets[1:]] - prefix[query_offsets[:-1]]
+        self.device.record_kernel(
+            "lsm.query.count_valid",
+            coalesced_read_bytes=valid.size,
+            coalesced_write_bytes=counts.nbytes,
+            work_items=int(valid.size),
+        )
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Cleanup
+    # ------------------------------------------------------------------ #
+    def cleanup(self) -> dict:
+        """Remove tombstones, deleted elements and replaced duplicates.
+
+        Implementation follows Section IV-E: (1) iteratively merge all
+        occupied levels from the smallest to the largest with the
+        status-blind comparator, (2) mark stale elements, (3) compact the
+        valid elements with a two-bucket multisplit, (4) pad with placebo
+        tombstones of maximal key up to a multiple of ``b``, and (5)
+        redistribute the sorted survivors into fresh levels.
+
+        Returns a small statistics dict (elements before/after, removed
+        count, padding added) used by the benchmark harness.
+        """
+        levels = self.occupied_levels()
+        before = self.num_elements
+        if not levels:
+            return {
+                "elements_before": 0,
+                "elements_after": 0,
+                "removed": 0,
+                "padding": 0,
+            }
+
+        with self.device.timed_region("lsm.cleanup", items=before):
+            # Step 1: merge every occupied level, newest first so equal keys
+            # stay ordered most-recent-first.
+            merged_keys = levels[0].keys
+            merged_values = levels[0].values
+            for level in levels[1:]:
+                if self.key_only:
+                    merged_keys = merge_keys(
+                        merged_keys,
+                        level.keys,
+                        key=self.encoder.strip_status,
+                        device=self.device,
+                        kernel_name="lsm.cleanup.merge",
+                    )
+                else:
+                    merged_keys, merged_values = merge_pairs(
+                        merged_keys,
+                        merged_values,
+                        level.keys,
+                        level.values,
+                        key=self.encoder.strip_status,
+                        device=self.device,
+                        kernel_name="lsm.cleanup.merge",
+                    )
+
+            # Step 2: mark valid elements — the first (most recent) copy of
+            # each original key, provided it is not a tombstone.
+            orig = self.encoder.decode_key(merged_keys)
+            first = np.ones(orig.size, dtype=bool)
+            first[1:] = orig[1:] != orig[:-1]
+            valid_mask = first & self.encoder.is_regular(merged_keys)
+            self.device.record_kernel(
+                "lsm.cleanup.mark",
+                coalesced_read_bytes=merged_keys.nbytes,
+                coalesced_write_bytes=merged_keys.size,
+                work_items=int(merged_keys.size),
+            )
+
+            # Step 3: two-bucket multisplit — bucket 0 holds the valid
+            # elements, bucket 1 the stale ones (discarded).
+            bucket_of = lambda words: (~valid_mask).astype(np.int64)  # noqa: E731
+            if self.key_only:
+                reordered, offsets = multisplit_keys(
+                    merged_keys,
+                    bucket_of,
+                    num_buckets=2,
+                    device=self.device,
+                    kernel_name="lsm.cleanup.multisplit",
+                )
+                valid_keys = reordered[: offsets[1]]
+                valid_values = None
+            else:
+                reordered_k, reordered_v, offsets = multisplit_pairs(
+                    merged_keys,
+                    merged_values,
+                    bucket_of,
+                    num_buckets=2,
+                    device=self.device,
+                    kernel_name="lsm.cleanup.multisplit",
+                )
+                valid_keys = reordered_k[: offsets[1]]
+                valid_values = reordered_v[: offsets[1]]
+
+            num_valid = int(valid_keys.size)
+
+            # Step 4: pad with placebo elements (tombstones of maximal key)
+            # so the total stays a multiple of b.  An entirely-stale LSM
+            # becomes empty rather than a structure of pure padding.
+            if num_valid == 0:
+                new_batches = 0
+                final_keys = valid_keys
+                final_values = valid_values
+                padding = 0
+            else:
+                new_batches = -(-num_valid // self.batch_size)
+                padded_n = new_batches * self.batch_size
+                padding = padded_n - num_valid
+                final_keys = np.empty(padded_n, dtype=self.config.key_dtype)
+                final_keys[:num_valid] = valid_keys
+                final_keys[num_valid:] = self.config.key_dtype.type(
+                    self.encoder.placebo_word
+                )
+                if valid_values is not None:
+                    final_values = np.zeros(padded_n, dtype=self.config.value_dtype)
+                    final_values[:num_valid] = valid_values
+                else:
+                    final_values = None
+                self.device.record_kernel(
+                    "lsm.cleanup.pad",
+                    coalesced_write_bytes=padding * self.config.key_dtype.itemsize,
+                    work_items=padding,
+                )
+
+            # Step 5: redistribute into fresh levels.
+            for lvl in self.levels:
+                lvl.clear()
+            self.num_batches = 0
+            if new_batches:
+                self._distribute_sorted(final_keys, final_values, new_batches)
+            self.total_cleanups += 1
+
+        if self.config.validate_invariants:
+            from repro.core.invariants import check_lsm_invariants
+
+            check_lsm_invariants(self)
+
+        return {
+            "elements_before": before,
+            "elements_after": self.num_elements,
+            "removed": before - num_valid,
+            "padding": padding,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def stale_fraction_estimate(self) -> float:
+        """Crude upper bound on the fraction of stale resident elements,
+        derived from the lifetime update counters; used by cleanup policies
+        in the examples."""
+        if self.num_elements == 0:
+            return 0.0
+        live_upper_bound = max(0, self.total_insertions - self.total_deletions)
+        stale = max(0, self.num_elements - live_upper_bound)
+        return min(1.0, stale / self.num_elements)

@@ -1,0 +1,114 @@
+"""Sequential reference model of the GPU LSM's batch semantics.
+
+Section III-A defines six rules for how batched updates interact with
+queries.  :class:`ReferenceDictionary` implements those rules directly on a
+Python dict, processing one batch at a time, and supports the same query
+surface (lookup / count / range) as :class:`repro.core.lsm.GPULSM`.  The
+test suite (including the Hypothesis stateful tests) drives both
+implementations with identical operation sequences and asserts that every
+query answer matches — the reference model is the oracle.
+
+Rule mapping:
+
+1/2.  The model is batch-oriented: :meth:`apply_batch` consumes one batch of
+      (op, key, value) tuples; queries run between batches.
+3.    Re-inserting a key overwrites the stored value.
+4.    Multiple insertions of a key within a batch: the GPU LSM keeps an
+      arbitrary one; the model mirrors the concrete tie-break the GPU LSM's
+      stable full-word sort produces — the *first* regular occurrence in the
+      batch wins (all duplicates sort adjacently and queries see the first).
+5.    Deleting a key removes it regardless of how many times it was
+      inserted before.
+6.    A key both inserted and deleted within one batch ends up deleted,
+      because its tombstone (status bit 0) sorts before the regular
+      elements; the model applies deletions within a batch with the same
+      priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BatchOp:
+    """One logical operation inside a batch."""
+
+    is_delete: bool
+    key: int
+    value: int = 0
+
+
+class ReferenceDictionary:
+    """Sequential oracle for the GPU LSM's semantics."""
+
+    def __init__(self) -> None:
+        self._store: Dict[int, int] = {}
+        self.batches_applied = 0
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def apply_batch(self, ops: Sequence[BatchOp]) -> None:
+        """Apply one mixed batch of insertions and deletions.
+
+        Within the batch, deletions dominate (rule 6) and among multiple
+        insertions of the same key the first one in batch order wins
+        (matching the GPU LSM's stable sort tie-break, rule 4).
+        """
+        deleted_in_batch = {op.key for op in ops if op.is_delete}
+        first_insert: Dict[int, int] = {}
+        for op in ops:
+            if not op.is_delete and op.key not in first_insert:
+                first_insert[op.key] = op.value
+
+        for key in deleted_in_batch:
+            self._store.pop(key, None)
+        for key, value in first_insert.items():
+            if key in deleted_in_batch:
+                continue  # rule 6: insert + delete in one batch => deleted
+            self._store[key] = value
+        self.batches_applied += 1
+
+    def insert_batch(self, keys: Iterable[int], values: Iterable[int]) -> None:
+        """Convenience wrapper: a pure-insertion batch."""
+        self.apply_batch(
+            [BatchOp(is_delete=False, key=int(k), value=int(v)) for k, v in zip(keys, values)]
+        )
+
+    def delete_batch(self, keys: Iterable[int]) -> None:
+        """Convenience wrapper: a pure-deletion batch."""
+        self.apply_batch([BatchOp(is_delete=True, key=int(k)) for k in keys])
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def lookup(self, keys: Iterable[int]) -> List[Optional[int]]:
+        """Value of each key, or ``None`` when absent/deleted."""
+        return [self._store.get(int(k)) for k in keys]
+
+    def count(self, k1: int, k2: int) -> int:
+        """Number of live keys in the inclusive range ``[k1, k2]``."""
+        return sum(1 for k in self._store if k1 <= k <= k2)
+
+    def range_query(self, k1: int, k2: int) -> List[Tuple[int, int]]:
+        """Sorted ``(key, value)`` pairs of the live keys in ``[k1, k2]``."""
+        return sorted(
+            (k, v) for k, v in self._store.items() if k1 <= k <= k2
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._store
+
+    def live_items(self) -> Dict[int, int]:
+        """A copy of the live key → value mapping."""
+        return dict(self._store)

@@ -1,0 +1,156 @@
+"""Analytic performance model of the simulated GPU.
+
+The paper reports throughput (M elements/s or M queries/s) measured on a
+K40c.  We cannot measure those rates on a CPU; instead every simulated kernel
+reports the DRAM traffic it would generate (see
+:mod:`repro.gpu.counters`) and this module converts traffic into *simulated
+time*:
+
+``time = launches * launch_overhead
+       + coalesced_bytes / effective_bandwidth
+       + random_bytes   / random_bandwidth``
+
+This is the classic roofline/bandwidth-bound model.  It is a good fit here
+because every primitive the GPU LSM is built from — radix sort, merge,
+scan, segmented sort, compaction, binary search — is memory-bound on real
+hardware, which is exactly why the paper reasons about its data structure in
+terms of element movement (e.g. "our GPU sustains 770 M elements/s for
+key-value radix sort", "in-memory transfers with 288 GB/s = 36 G elements/s").
+
+The model reproduces the paper's headline *shapes*:
+
+* insertion cost proportional to the number of elements merged, so the
+  sawtooth of Figure 4a and the harmonic-mean gap of Table II follow from
+  the LSM geometry itself;
+* lookups dominated by random binary-search probes, so the GPU SA (one
+  level) beats the GPU LSM (≈ log r levels) by the observed ~1.7×, and the
+  cuckoo hash (O(1) probes) beats both;
+* small batches dominated by launch overhead, reproducing the collapse of
+  insertion rates for b = 2^15 … 2^17.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.gpu.counters import CounterSnapshot, KernelStats
+from repro.gpu.spec import GPUSpec, K40C_SPEC
+
+
+class AccessPattern(enum.Enum):
+    """How a kernel touches global memory.
+
+    ``COALESCED``
+        Neighbouring threads touch neighbouring addresses; the kernel
+        streams at (a large fraction of) peak bandwidth.  All the bulk
+        primitives (sort, merge, scan, compact) are in this class.
+    ``RANDOM``
+        Each thread follows its own pointer chain (binary search probes,
+        cuckoo probes).  Each 4-byte request costs a 32-byte transaction.
+    """
+
+    COALESCED = "coalesced"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Simulated execution cost of one kernel (or group of kernels).
+
+    Attributes
+    ----------
+    seconds:
+        Simulated execution time.
+    launch_seconds / coalesced_seconds / random_seconds:
+        Breakdown of the total into the three model terms, retained so the
+        profiler can report which term dominates each operation.
+    """
+
+    seconds: float
+    launch_seconds: float
+    coalesced_seconds: float
+    random_seconds: float
+
+    def __add__(self, other: "KernelCost") -> "KernelCost":
+        return KernelCost(
+            seconds=self.seconds + other.seconds,
+            launch_seconds=self.launch_seconds + other.launch_seconds,
+            coalesced_seconds=self.coalesced_seconds + other.coalesced_seconds,
+            random_seconds=self.random_seconds + other.random_seconds,
+        )
+
+    @staticmethod
+    def zero() -> "KernelCost":
+        return KernelCost(0.0, 0.0, 0.0, 0.0)
+
+
+class CostModel:
+    """Converts kernel traffic into simulated time for a given device spec."""
+
+    def __init__(self, spec: GPUSpec = K40C_SPEC) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------ #
+    # Core conversion
+    # ------------------------------------------------------------------ #
+    def cost_of(self, stats: KernelStats) -> KernelCost:
+        """Simulated cost of a single kernel record."""
+        return self._cost(
+            launches=stats.launches,
+            coalesced_bytes=stats.coalesced_bytes,
+            random_bytes=stats.random_bytes,
+        )
+
+    def cost_of_snapshot(self, snap: CounterSnapshot) -> KernelCost:
+        """Simulated cost of everything captured in a counter snapshot
+        difference (see :meth:`repro.gpu.counters.TrafficCounter.since`)."""
+        return self._cost(
+            launches=snap.launches,
+            coalesced_bytes=snap.coalesced_bytes,
+            random_bytes=snap.random_bytes,
+        )
+
+    def cost_of_many(self, records: Iterable[KernelStats]) -> KernelCost:
+        """Sum of the costs of an iterable of kernel records."""
+        total = KernelCost.zero()
+        for rec in records:
+            total = total + self.cost_of(rec)
+        return total
+
+    def _cost(
+        self, *, launches: int, coalesced_bytes: int, random_bytes: int
+    ) -> KernelCost:
+        launch_s = launches * self.spec.kernel_launch_overhead_s
+        coalesced_s = coalesced_bytes / self.spec.effective_bandwidth_bytes_per_s
+        random_s = random_bytes / self.spec.random_bandwidth_bytes_per_s
+        return KernelCost(
+            seconds=launch_s + coalesced_s + random_s,
+            launch_seconds=launch_s,
+            coalesced_seconds=coalesced_s,
+            random_seconds=random_s,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience rate helpers (used heavily by the benchmark harness)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def rate_m_per_s(items: int, seconds: float) -> float:
+        """Items per second expressed in millions, the unit of every table
+        in the paper.  Returns ``inf`` for a zero-time denominator."""
+        if seconds <= 0.0:
+            return float("inf")
+        return items / seconds / 1e6
+
+    def streaming_time(self, nbytes: int, launches: int = 1) -> float:
+        """Shortcut: simulated seconds to stream ``nbytes`` coalesced."""
+        return self._cost(
+            launches=launches, coalesced_bytes=nbytes, random_bytes=0
+        ).seconds
+
+    def random_time(self, nbytes: int, launches: int = 1) -> float:
+        """Shortcut: simulated seconds to move ``nbytes`` with random access."""
+        return self._cost(
+            launches=launches, coalesced_bytes=0, random_bytes=nbytes
+        ).seconds

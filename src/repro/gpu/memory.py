@@ -1,0 +1,246 @@
+"""Device memory management for the simulated GPU.
+
+The paper's implementation stores every LSM level in arrays allocated in the
+GPU's global memory, uses double buffers with a ping-pong strategy for the
+non-in-place merges (Section IV-A), and pads the last level with "placebo"
+elements during cleanup (Section IV-E).  This module provides the matching
+abstractions:
+
+* :class:`MemoryPool` — tracks allocations against the simulated DRAM
+  capacity and records high-water marks.
+* :class:`DeviceArray` — a thin, typed wrapper around a NumPy array that
+  remembers which device it belongs to.  Functional work happens directly on
+  the underlying NumPy buffer (``.data``); the wrapper exists so allocation
+  size, device affinity and lifetime are explicit, mirroring ``cudaMalloc``.
+* :class:`DoubleBuffer` — the ping-pong pair used by sort and merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.gpu.errors import BufferStateError, DeviceMemoryError, DeviceMismatchError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpu.device import Device
+
+
+@dataclass
+class AllocationRecord:
+    """Bookkeeping entry for one live device allocation."""
+
+    array_id: int
+    nbytes: int
+    label: str
+
+
+class MemoryPool:
+    """Simulated global-memory allocator with capacity enforcement.
+
+    The pool does not sub-allocate or align; it only accounts for bytes so
+    that (a) out-of-memory conditions are detectable and (b) the benchmark
+    harness can report memory amplification of the LSM (stale elements,
+    double buffers) exactly the way the paper discusses it in Section III-F.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.total_allocations = 0
+        self._live: Dict[int, AllocationRecord] = {}
+        self._next_id = 0
+
+    def allocate(self, nbytes: int, label: str = "") -> AllocationRecord:
+        """Reserve ``nbytes``; raises :class:`DeviceMemoryError` on overflow."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise DeviceMemoryError(
+                f"device out of memory: requested {nbytes} bytes for {label!r}, "
+                f"{self.capacity_bytes - self.used_bytes} bytes free of "
+                f"{self.capacity_bytes}"
+            )
+        record = AllocationRecord(array_id=self._next_id, nbytes=nbytes, label=label)
+        self._next_id += 1
+        self._live[record.array_id] = record
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self.total_allocations += 1
+        return record
+
+    def free(self, record: AllocationRecord) -> None:
+        """Release a previously allocated record.  Double frees raise."""
+        if record.array_id not in self._live:
+            raise BufferStateError(
+                f"double free or foreign allocation: id={record.array_id} "
+                f"label={record.label!r}"
+            )
+        del self._live[record.array_id]
+        self.used_bytes -= record.nbytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def describe(self) -> Dict[str, int]:
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "used_bytes": self.used_bytes,
+            "peak_bytes": self.peak_bytes,
+            "free_bytes": self.free_bytes,
+            "live_allocations": self.live_allocations,
+            "total_allocations": self.total_allocations,
+        }
+
+
+class DeviceArray:
+    """A typed array resident in simulated device memory.
+
+    The functional payload is a NumPy array exposed as :attr:`data`; all the
+    primitives operate on it with vectorised NumPy.  The wrapper carries the
+    owning :class:`~repro.gpu.device.Device` so cross-device misuse is
+    detected, and participates in the pool's byte accounting.
+
+    DeviceArrays should be created through :meth:`Device.alloc`,
+    :meth:`Device.from_host` or :meth:`Device.zeros` rather than directly.
+    """
+
+    __slots__ = ("device", "data", "_record", "label", "_freed")
+
+    def __init__(
+        self,
+        device: "Device",
+        data: np.ndarray,
+        record: AllocationRecord,
+        label: str = "",
+    ) -> None:
+        self.device = device
+        self.data = data
+        self._record = record
+        self.label = label
+        self._freed = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "freed" if self._freed else "live"
+        return (
+            f"DeviceArray(label={self.label!r}, dtype={self.data.dtype}, "
+            f"shape={self.data.shape}, {state})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifetime
+    # ------------------------------------------------------------------ #
+    def free(self) -> None:
+        """Return this array's bytes to the pool.  Safe to call once."""
+        if self._freed:
+            raise BufferStateError(f"DeviceArray {self.label!r} already freed")
+        self.device.pool.free(self._record)
+        self._freed = True
+
+    @property
+    def is_live(self) -> bool:
+        return not self._freed
+
+    # ------------------------------------------------------------------ #
+    # Host transfer (explicit, like cudaMemcpy)
+    # ------------------------------------------------------------------ #
+    def to_host(self) -> np.ndarray:
+        """Copy the contents back to 'host' memory (a detached NumPy copy)."""
+        self._check_live()
+        return self.data.copy()
+
+    def copy_from_host(self, host: np.ndarray) -> None:
+        """Overwrite contents from a host array of identical shape/dtype."""
+        self._check_live()
+        host = np.asarray(host, dtype=self.data.dtype)
+        if host.shape != self.data.shape:
+            raise ValueError(
+                f"shape mismatch copying to device array: {host.shape} != {self.data.shape}"
+            )
+        self.data[...] = host
+
+    def _check_live(self) -> None:
+        if self._freed:
+            raise BufferStateError(f"use-after-free of DeviceArray {self.label!r}")
+
+    def same_device(self, other: "DeviceArray") -> None:
+        """Raise :class:`DeviceMismatchError` unless both arrays share a device."""
+        if self.device is not other.device:
+            raise DeviceMismatchError(
+                f"cross-device operation between {self.label!r} and {other.label!r}"
+            )
+
+
+class DoubleBuffer:
+    """Ping-pong buffer pair, as used by the paper's merge path (IV-A).
+
+    moderngpu's merge and CUB's radix sort are not in-place; the original
+    implementation keeps two equally sized buffers and alternates which one
+    is "current" after every pass.  :meth:`swap` flips the roles; the LSM
+    reads its final result from :attr:`current`.
+    """
+
+    def __init__(self, current: DeviceArray, alternate: DeviceArray) -> None:
+        current.same_device(alternate)
+        if current.dtype != alternate.dtype:
+            raise BufferStateError("double buffer halves must share a dtype")
+        if current.size != alternate.size:
+            raise BufferStateError("double buffer halves must share a size")
+        self._current = current
+        self._alternate = alternate
+        self.swap_count = 0
+
+    @property
+    def current(self) -> DeviceArray:
+        return self._current
+
+    @property
+    def alternate(self) -> DeviceArray:
+        return self._alternate
+
+    def swap(self) -> None:
+        """Flip which half is current (one radix-sort digit pass, one merge)."""
+        self._current, self._alternate = self._alternate, self._current
+        self.swap_count += 1
+
+    def free(self) -> None:
+        """Release both halves."""
+        self._current.free()
+        self._alternate.free()
+
+    @property
+    def nbytes(self) -> int:
+        return self._current.nbytes + self._alternate.nbytes

@@ -1,0 +1,109 @@
+"""Operation-level profiler for the simulated GPU.
+
+The benchmark harness brackets logical operations (one batch insertion, one
+set of lookups, one cleanup, …) with :meth:`Profiler.region`; the profiler
+records the kernel launches and traffic attributed to the region and the
+simulated time the cost model assigns to them.  This mirrors how the paper's
+measurements bracket operations with CUDA events.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.gpu.cost_model import CostModel, KernelCost
+from repro.gpu.counters import CounterSnapshot, KernelStats, TrafficCounter
+
+
+@dataclass
+class ProfileRecord:
+    """One profiled region: name, traffic, and simulated cost breakdown."""
+
+    name: str
+    items: int
+    coalesced_bytes: int
+    random_bytes: int
+    launches: int
+    cost: KernelCost
+
+    @property
+    def seconds(self) -> float:
+        return self.cost.seconds
+
+    @property
+    def rate_m_per_s(self) -> float:
+        """Throughput in millions of items per simulated second."""
+        return CostModel.rate_m_per_s(self.items, self.cost.seconds)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.coalesced_bytes + self.random_bytes
+
+
+class Profiler:
+    """Collects :class:`ProfileRecord` entries for a device's operations."""
+
+    def __init__(self, counter: TrafficCounter, cost_model: CostModel) -> None:
+        self._counter = counter
+        self._cost_model = cost_model
+        self.records: List[ProfileRecord] = []
+
+    @contextlib.contextmanager
+    def region(self, name: str, items: int = 0) -> Iterator[None]:
+        """Context manager bracketing one logical operation.
+
+        ``items`` is the number of logical elements/queries processed by the
+        region, used to convert simulated time into the M items/s rates the
+        paper reports.
+        """
+        before = self._counter.snapshot()
+        yield
+        delta = self._counter.since(before)
+        cost = self._cost_model.cost_of_snapshot(delta)
+        self.records.append(
+            ProfileRecord(
+                name=name,
+                items=items,
+                coalesced_bytes=delta.coalesced_bytes,
+                random_bytes=delta.random_bytes,
+                launches=delta.launches,
+                cost=cost,
+            )
+        )
+
+    @property
+    def last(self) -> Optional[ProfileRecord]:
+        return self.records[-1] if self.records else None
+
+    def total_seconds(self, name_prefix: str = "") -> float:
+        """Sum of simulated seconds for records whose name starts with a prefix."""
+        return sum(
+            r.seconds for r in self.records if r.name.startswith(name_prefix)
+        )
+
+    def by_name(self) -> Dict[str, List[ProfileRecord]]:
+        """Group records by region name."""
+        grouped: Dict[str, List[ProfileRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.name, []).append(record)
+        return grouped
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Flat dict rows for the report writer (one per region occurrence)."""
+        return [
+            {
+                "region": r.name,
+                "items": r.items,
+                "simulated_ms": r.seconds * 1e3,
+                "rate_m_per_s": r.rate_m_per_s,
+                "coalesced_mib": r.coalesced_bytes / 1024**2,
+                "random_mib": r.random_bytes / 1024**2,
+                "kernel_launches": r.launches,
+            }
+            for r in self.records
+        ]

@@ -1,0 +1,173 @@
+"""Hardware specification for the simulated GPU.
+
+The default spec is calibrated to the NVIDIA Tesla K40c used throughout the
+paper's evaluation (Section V): Kepler GK110B, 15 SMs at 745 MHz boostable to
+875 MHz, 12 GB GDDR5 at 288 GB/s, 1.5 MB shared L2, 16 KB L1 + 48 KB shared
+memory per SM, warp width 32.
+
+The cost model (:mod:`repro.gpu.cost_model`) only consumes a handful of these
+numbers (DRAM bandwidth, warp width, kernel launch overhead, random-access
+efficiency), but the full description is retained so alternative devices can
+be modelled — the benchmarks accept any :class:`GPUSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a (simulated) GPU.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name.
+    num_sms:
+        Number of streaming multiprocessors.
+    warp_size:
+        Threads per warp (32 on every NVIDIA architecture to date).
+    max_threads_per_block:
+        Hardware limit on block size.
+    max_threads_per_sm:
+        Maximum resident threads per SM (occupancy ceiling).
+    core_clock_ghz:
+        SM clock in GHz (boost clock).
+    dram_bytes:
+        Device DRAM capacity in bytes.
+    dram_bandwidth_gbs:
+        Peak DRAM bandwidth in GB/s.  The paper quotes 288 GB/s for the K40c
+        and measures ~36 G elements/s for 8-byte element copies, i.e. the
+        achievable fraction of peak is folded into
+        :attr:`achievable_bandwidth_fraction`.
+    achievable_bandwidth_fraction:
+        Fraction of peak bandwidth a well-tuned streaming kernel achieves
+        (copy/scan/histogram kernels typically reach 75–85 % of peak).
+    l2_bytes:
+        Size of the shared L2 cache.
+    l1_bytes_per_sm:
+        L1 cache per SM.
+    shared_memory_bytes_per_sm:
+        Programmer-managed shared memory per SM.
+    kernel_launch_overhead_us:
+        Fixed cost of launching one kernel, in microseconds.  This term is
+        what makes very small batches inefficient (Table II, small ``b``
+        rows) — the same effect the paper attributes to under-occupied
+        launches.
+    random_access_efficiency:
+        Effective fraction of peak bandwidth sustained by fully uncoalesced
+        (random) accesses, e.g. the binary-search probes of lookup queries.
+        A 32-byte DRAM transaction servicing a single 4-byte request gives
+        ~1/8; caching of the first few binary-search levels raises it
+        slightly.
+    ecc_overhead:
+        Multiplicative bandwidth penalty for ECC being enabled (the paper's
+        K40c runs with ECC on).
+    """
+
+    name: str = "NVIDIA Tesla K40c (simulated)"
+    num_sms: int = 15
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    core_clock_ghz: float = 0.875
+    dram_bytes: int = 12 * 1024**3
+    dram_bandwidth_gbs: float = 288.0
+    achievable_bandwidth_fraction: float = 0.80
+    l2_bytes: int = 1536 * 1024
+    l1_bytes_per_sm: int = 16 * 1024
+    shared_memory_bytes_per_sm: int = 48 * 1024
+    kernel_launch_overhead_us: float = 5.0
+    random_access_efficiency: float = 0.14
+    ecc_overhead: float = 0.88
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ValueError("warp_size must be a positive power of two")
+        if self.dram_bandwidth_gbs <= 0:
+            raise ValueError("dram_bandwidth_gbs must be positive")
+        if not (0.0 < self.achievable_bandwidth_fraction <= 1.0):
+            raise ValueError("achievable_bandwidth_fraction must be in (0, 1]")
+        if not (0.0 < self.random_access_efficiency <= 1.0):
+            raise ValueError("random_access_efficiency must be in (0, 1]")
+        if not (0.0 < self.ecc_overhead <= 1.0):
+            raise ValueError("ecc_overhead must be in (0, 1]")
+        if self.kernel_launch_overhead_us < 0:
+            raise ValueError("kernel_launch_overhead_us must be non-negative")
+        if self.dram_bytes <= 0:
+            raise ValueError("dram_bytes must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Sustained streaming bandwidth in bytes/second (coalesced access)."""
+        return (
+            self.dram_bandwidth_gbs
+            * 1e9
+            * self.achievable_bandwidth_fraction
+            * self.ecc_overhead
+        )
+
+    @property
+    def random_bandwidth_bytes_per_s(self) -> float:
+        """Sustained bandwidth in bytes/second for uncoalesced access."""
+        return (
+            self.dram_bandwidth_gbs
+            * 1e9
+            * self.random_access_efficiency
+            * self.ecc_overhead
+        )
+
+    @property
+    def kernel_launch_overhead_s(self) -> float:
+        """Kernel launch overhead in seconds."""
+        return self.kernel_launch_overhead_us * 1e-6
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Total number of threads the device can keep resident at once."""
+        return self.num_sms * self.max_threads_per_sm
+
+    @property
+    def total_shared_memory_bytes(self) -> int:
+        """Aggregate programmer-managed shared memory across all SMs."""
+        return self.num_sms * self.shared_memory_bytes_per_sm
+
+    def with_overrides(self, **kwargs) -> "GPUSpec":
+        """Return a copy of this spec with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        """Return a flat dictionary of the spec, for reports and logs."""
+        return {
+            "name": self.name,
+            "num_sms": self.num_sms,
+            "warp_size": self.warp_size,
+            "core_clock_ghz": self.core_clock_ghz,
+            "dram_gib": self.dram_bytes / 1024**3,
+            "dram_bandwidth_gbs": self.dram_bandwidth_gbs,
+            "effective_bandwidth_gbs": self.effective_bandwidth_bytes_per_s / 1e9,
+            "random_bandwidth_gbs": self.random_bandwidth_bytes_per_s / 1e9,
+            "l2_kib": self.l2_bytes / 1024,
+            "kernel_launch_overhead_us": self.kernel_launch_overhead_us,
+        }
+
+
+#: Default device description used across the library — the paper's K40c.
+K40C_SPEC = GPUSpec()
+
+#: A deliberately small device used by tests that exercise out-of-memory and
+#: occupancy edge cases without allocating gigabytes.
+TINY_SPEC = GPUSpec(
+    name="tiny-test-device",
+    num_sms=2,
+    dram_bytes=64 * 1024 * 1024,
+    dram_bandwidth_gbs=32.0,
+    kernel_launch_overhead_us=2.0,
+)

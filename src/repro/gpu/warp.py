@@ -1,0 +1,115 @@
+"""Warp-wide primitives (ballot, shuffle, lane arithmetic).
+
+The paper's count/range validation stage (Section IV-C stage 5) assigns one
+query per thread and then has the 32 threads of a warp cooperate "in
+validating and counting (via warp-wide ballots) the results for all potential
+matches from 32 consecutive queries".  These helpers emulate the warp-wide
+voting and shuffle instructions on top of NumPy, operating on arrays whose
+leading dimension is padded to a multiple of the warp size.
+
+All functions are pure and vectorised across any number of warps at once:
+the input is conceptually ``[num_warps, warp_size]``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.gpu.spec import K40C_SPEC
+
+WARP_SIZE = K40C_SPEC.warp_size
+
+
+def pad_to_warps(values: np.ndarray, fill_value=0) -> Tuple[np.ndarray, int]:
+    """Pad a 1-D array up to a multiple of the warp size.
+
+    Returns the padded array reshaped to ``[num_warps, WARP_SIZE]`` together
+    with the original length, so callers can strip the padding afterwards.
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    num_warps = max(1, -(-n // WARP_SIZE))
+    padded = np.full(num_warps * WARP_SIZE, fill_value, dtype=values.dtype)
+    padded[:n] = values
+    return padded.reshape(num_warps, WARP_SIZE), n
+
+
+def ballot(predicate: np.ndarray) -> np.ndarray:
+    """``__ballot_sync`` for every warp in a ``[num_warps, 32]`` boolean array.
+
+    Returns a ``uint32`` per warp in which bit *i* is set iff lane *i*'s
+    predicate was true.
+    """
+    predicate = np.asarray(predicate, dtype=bool)
+    if predicate.ndim != 2 or predicate.shape[1] != WARP_SIZE:
+        raise ValueError("ballot expects a [num_warps, 32] boolean array")
+    weights = (np.uint64(1) << np.arange(WARP_SIZE, dtype=np.uint64))
+    return (predicate.astype(np.uint64) * weights).sum(axis=1).astype(np.uint64)
+
+
+def popc(masks: np.ndarray) -> np.ndarray:
+    """Population count of each warp ballot mask (``__popc``)."""
+    masks = np.asarray(masks, dtype=np.uint64)
+    counts = np.zeros(masks.shape, dtype=np.int64)
+    work = masks.copy()
+    for _ in range(64):
+        counts += (work & np.uint64(1)).astype(np.int64)
+        work >>= np.uint64(1)
+    return counts
+
+
+def lane_id(num_threads: int) -> np.ndarray:
+    """Lane index (0..31) of each thread in a flat launch of ``num_threads``."""
+    return np.arange(num_threads, dtype=np.int64) % WARP_SIZE
+
+
+def warp_id(num_threads: int) -> np.ndarray:
+    """Warp index of each thread in a flat launch of ``num_threads``."""
+    return np.arange(num_threads, dtype=np.int64) // WARP_SIZE
+
+
+def shfl_up(values: np.ndarray, delta: int, fill_value=0) -> np.ndarray:
+    """``__shfl_up_sync`` within each warp of a ``[num_warps, 32]`` array.
+
+    Lane *i* receives the value of lane *i - delta*; lanes with
+    ``i < delta`` receive ``fill_value`` (matching the CUDA semantics where
+    out-of-range shuffles return the caller's own value — using an explicit
+    fill keeps the scan implementations simpler and is how CUB uses it).
+    """
+    values = np.asarray(values)
+    if values.ndim != 2 or values.shape[1] != WARP_SIZE:
+        raise ValueError("shfl_up expects a [num_warps, 32] array")
+    if not 0 <= delta < WARP_SIZE:
+        raise ValueError("delta must be in [0, 32)")
+    out = np.full_like(values, fill_value)
+    if delta == 0:
+        out[...] = values
+    else:
+        out[:, delta:] = values[:, :-delta]
+    return out
+
+
+def warp_inclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Inclusive plus-scan within each warp (Hillis–Steele with shuffles)."""
+    values = np.asarray(values)
+    if values.ndim != 2 or values.shape[1] != WARP_SIZE:
+        raise ValueError("warp_inclusive_scan expects a [num_warps, 32] array")
+    acc = values.astype(np.int64).copy()
+    delta = 1
+    while delta < WARP_SIZE:
+        acc = acc + shfl_up(acc, delta, fill_value=0)
+        delta <<= 1
+    return acc
+
+
+def warp_exclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Exclusive plus-scan within each warp."""
+    inclusive = warp_inclusive_scan(values)
+    return inclusive - np.asarray(values, dtype=np.int64)
+
+
+def warp_reduce(values: np.ndarray) -> np.ndarray:
+    """Plus-reduction of each warp (the last column of the inclusive scan)."""
+    return warp_inclusive_scan(values)[:, -1]

@@ -1,0 +1,154 @@
+"""Stream compaction and two-way partitioning (CUB ``DeviceSelect`` family).
+
+Range queries end with "a segmented compaction based on all set LSBs" that
+gathers the valid elements of each query (Section IV-D stage 5), and cleanup
+compacts all valid elements after marking stale ones (Section IV-E step 3).
+Both are select-if operations: a flag per element, an exclusive scan of the
+flags to compute output offsets, and a scatter of the selected elements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.device import Device, get_default_device
+from repro.primitives.scan import exclusive_scan
+
+
+def compact(
+    values: np.ndarray,
+    flags: np.ndarray,
+    device: Optional[Device] = None,
+    kernel_name: str = "compact.flagged",
+) -> np.ndarray:
+    """Keep the elements whose flag is true, preserving order.
+
+    Equivalent to CUB's ``DeviceSelect::Flagged``.  The scan that computes
+    the output offsets is recorded explicitly because it is a separate
+    kernel on the device.
+    """
+    device = device or get_default_device()
+    values = np.asarray(values)
+    flags = np.asarray(flags, dtype=bool)
+    if values.shape != flags.shape:
+        raise ValueError("values and flags must have the same shape")
+    if values.ndim != 1:
+        raise ValueError("compact expects one-dimensional arrays")
+
+    offsets, total = exclusive_scan(
+        flags.astype(np.int64), device=device, kernel_name="compact.scan_flags"
+    )
+    result = np.empty(total, dtype=values.dtype)
+    if total:
+        result[offsets[flags]] = values[flags]
+
+    device.record_kernel(
+        kernel_name,
+        coalesced_read_bytes=values.nbytes + flags.size,  # flags are 1 byte each
+        coalesced_write_bytes=result.nbytes,
+        work_items=values.size,
+    )
+    return result
+
+
+def select_if(
+    values: np.ndarray,
+    predicate,
+    device: Optional[Device] = None,
+    kernel_name: str = "compact.select_if",
+) -> np.ndarray:
+    """Keep elements for which ``predicate(values)`` is true (vectorised).
+
+    ``predicate`` receives the whole array and must return a boolean mask —
+    the device-side equivalent evaluates the functor per element.
+    """
+    values = np.asarray(values)
+    flags = np.asarray(predicate(values), dtype=bool)
+    if flags.shape != values.shape:
+        raise ValueError("predicate must return a mask of the same shape")
+    return compact(values, flags, device=device, kernel_name=kernel_name)
+
+
+def partition_two_way(
+    values: np.ndarray,
+    flags: np.ndarray,
+    device: Optional[Device] = None,
+    kernel_name: str = "compact.partition",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable two-way partition: (selected, rejected), both order-preserving.
+
+    CUB's ``DevicePartition::Flagged``; the cleanup path uses it through the
+    two-bucket multisplit wrapper (:mod:`repro.primitives.multisplit`).
+    """
+    device = device or get_default_device()
+    values = np.asarray(values)
+    flags = np.asarray(flags, dtype=bool)
+    if values.shape != flags.shape:
+        raise ValueError("values and flags must have the same shape")
+    if values.ndim != 1:
+        raise ValueError("partition_two_way expects one-dimensional arrays")
+
+    exclusive_scan(
+        flags.astype(np.int64), device=device, kernel_name="compact.scan_flags"
+    )
+    selected = values[flags]
+    rejected = values[~flags]
+
+    device.record_kernel(
+        kernel_name,
+        coalesced_read_bytes=values.nbytes + flags.size,
+        coalesced_write_bytes=selected.nbytes + rejected.nbytes,
+        work_items=values.size,
+    )
+    return selected, rejected
+
+
+def segmented_compact(
+    values: np.ndarray,
+    flags: np.ndarray,
+    segment_offsets: np.ndarray,
+    device: Optional[Device] = None,
+    kernel_name: str = "compact.segmented",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compaction that also reports the new start offset of every segment.
+
+    This is the final stage of RANGE queries: the result buffer holds the
+    concatenated candidates of all queries (segments); compaction removes
+    invalid elements and the returned offsets say where each query's valid
+    results now begin.  Returns ``(compacted_values, new_segment_offsets)``
+    where ``new_segment_offsets`` has ``len(segment_offsets) + 1`` entries
+    (the last is the total count), matching the "beginning memory offsets of
+    each query" output format described in Section IV-D.
+    """
+    device = device or get_default_device()
+    values = np.asarray(values)
+    flags = np.asarray(flags, dtype=bool)
+    segment_offsets = np.asarray(segment_offsets, dtype=np.int64)
+    if values.shape != flags.shape:
+        raise ValueError("values and flags must have the same shape")
+    if values.ndim != 1 or segment_offsets.ndim != 1:
+        raise ValueError("segmented_compact expects one-dimensional arrays")
+
+    compacted = compact(values, flags, device=device, kernel_name=kernel_name)
+
+    # Valid-per-segment counts -> new offsets.  The per-segment counts are
+    # the difference of the flag prefix sum at segment boundaries.
+    if values.size:
+        prefix = np.concatenate(([0], np.cumsum(flags.astype(np.int64))))
+    else:
+        prefix = np.zeros(1, dtype=np.int64)
+    bounded = np.minimum(segment_offsets, values.size)
+    starts = prefix[bounded]
+    new_offsets = np.empty(segment_offsets.size + 1, dtype=np.int64)
+    new_offsets[:-1] = starts
+    new_offsets[-1] = prefix[-1]
+
+    device.record_kernel(
+        "compact.segment_offsets",
+        coalesced_read_bytes=segment_offsets.nbytes,
+        coalesced_write_bytes=new_offsets.nbytes,
+        work_items=segment_offsets.size,
+    )
+    return compacted, new_offsets

@@ -1,0 +1,160 @@
+"""Least-significant-digit radix sort (CUB ``DeviceRadixSort`` equivalent).
+
+The GPU LSM sorts every incoming batch with CUB's radix sort *including the
+status bit* (Fig. 3 line 9), which is what places tombstones ahead of regular
+elements with the same key inside a batch.  The GPU SA baseline and the
+cleanup fallback path also rely on it.
+
+The implementation is a faithful LSD radix sort: the key is processed in
+``digit_bits``-wide digits from least to most significant, and each pass
+performs (1) a per-block digit histogram, (2) an exclusive scan of the
+histograms, and (3) a stable scatter — the same three kernels CUB launches.
+The scatter within a pass is realised with a vectorised stable counting sort
+(``numpy`` ``argsort(kind="stable")`` over the digit), which is
+element-for-element what the rank-then-scatter kernels produce.
+
+Traffic model per pass: read keys (+ values), write keys (+ values), plus the
+histogram/scan traffic — giving the familiar ``passes × 2 × payload`` DRAM
+volume that makes radix sort bandwidth-bound.  The paper's measured 770 M
+key-value pairs/s on the K40c corresponds to ~4-bit-per-pass efficiency with
+this model; the default 8-bit digits land in the same regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.device import Device, get_default_device
+from repro.primitives.histogram import block_histograms
+from repro.primitives.scan import exclusive_scan
+
+
+@dataclass(frozen=True)
+class RadixSortConfig:
+    """Tuning knobs of the radix sort.
+
+    ``digit_bits`` is the radix width per pass (CUB uses 5–8 depending on
+    architecture); ``begin_bit``/``end_bit`` restrict sorting to a bit range
+    of the key, which the LSM uses to *exclude* the status bit when it needs
+    key-only ordering and to sort full words when it needs tombstones first.
+    ``end_bit = None`` means "the full key width".
+    """
+
+    digit_bits: int = 8
+    begin_bit: int = 0
+    end_bit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.digit_bits <= 16:
+            raise ValueError("digit_bits must be in [1, 16]")
+        if self.begin_bit < 0:
+            raise ValueError("begin_bit must be non-negative")
+        if self.end_bit is not None and self.end_bit <= self.begin_bit:
+            raise ValueError("end_bit must exceed begin_bit")
+
+
+def _resolve_bits(keys: np.ndarray, config: RadixSortConfig) -> Tuple[int, int]:
+    key_bits = keys.dtype.itemsize * 8
+    end_bit = key_bits if config.end_bit is None else min(config.end_bit, key_bits)
+    begin_bit = min(config.begin_bit, end_bit)
+    return begin_bit, end_bit
+
+
+def _check_keys(keys: np.ndarray) -> np.ndarray:
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValueError("radix sort expects a one-dimensional key array")
+    if keys.dtype.kind != "u":
+        raise TypeError("radix sort expects unsigned integer keys")
+    return keys
+
+
+def _sort_passes(
+    keys: np.ndarray,
+    values: Optional[np.ndarray],
+    config: RadixSortConfig,
+    device: Device,
+) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+    """Run the LSD digit passes and return sorted key/value copies."""
+    begin_bit, end_bit = _resolve_bits(keys, config)
+    num_passes = max(0, -(-(end_bit - begin_bit) // config.digit_bits))
+
+    out_keys = keys.copy()
+    out_values = values.copy() if values is not None else None
+    payload_bytes = keys.nbytes + (values.nbytes if values is not None else 0)
+
+    if keys.size == 0 or num_passes == 0:
+        # Zero-length (or zero-bit-range) sorts still launch nothing on the
+        # real device worth modelling; return copies for API uniformity.
+        return out_keys, out_values, 0
+
+    for p in range(num_passes):
+        shift = begin_bit + p * config.digit_bits
+        width = min(config.digit_bits, end_bit - shift)
+        mask = out_keys.dtype.type((1 << width) - 1)
+        digits = (out_keys >> out_keys.dtype.type(shift)) & mask
+
+        # Stage 1 + 2: per-block histogram and scan of histograms.  These
+        # record their own (small) traffic; the functional rank computation
+        # below is the vectorised equivalent of the scatter-offset logic.
+        hist = block_histograms(digits.astype(out_keys.dtype), width, 0, device=device)
+        exclusive_scan(hist.reshape(-1), device=device, kernel_name="radix_sort.scan")
+
+        # Stage 3: stable scatter by the digit.
+        order = np.argsort(digits, kind="stable")
+        out_keys = out_keys[order]
+        if out_values is not None:
+            out_values = out_values[order]
+
+        # The scatter writes of a radix pass land in 2**digit_bits distinct
+        # output partitions, so they are only partially coalesced; charging
+        # them as random traffic is what calibrates the simulated sort to
+        # the ~770 M key-value pairs/s the paper measures on the K40c.
+        device.record_kernel(
+            "radix_sort.scatter",
+            coalesced_read_bytes=payload_bytes,
+            random_write_bytes=payload_bytes,
+            work_items=keys.size,
+        )
+
+    return out_keys, out_values, num_passes
+
+
+def radix_sort_keys(
+    keys: np.ndarray,
+    config: RadixSortConfig = RadixSortConfig(),
+    device: Optional[Device] = None,
+) -> np.ndarray:
+    """Stable ascending sort of an unsigned integer key array.
+
+    Returns a new sorted array; the input is not modified (the real CUB call
+    uses a :class:`~repro.gpu.memory.DoubleBuffer` for the same reason).
+    """
+    device = device or get_default_device()
+    keys = _check_keys(keys)
+    sorted_keys, _, _ = _sort_passes(keys, None, config, device)
+    return sorted_keys
+
+
+def radix_sort_pairs(
+    keys: np.ndarray,
+    values: np.ndarray,
+    config: RadixSortConfig = RadixSortConfig(),
+    device: Optional[Device] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable ascending key-value sort (CUB ``SortPairs``).
+
+    ``values`` may be any dtype (the LSM stores 32-bit values; the cleanup
+    path also sorts permutation indices).  Both outputs are new arrays.
+    """
+    device = device or get_default_device()
+    keys = _check_keys(keys)
+    values = np.asarray(values)
+    if values.ndim != 1 or values.size != keys.size:
+        raise ValueError("values must be one-dimensional and match keys in length")
+    sorted_keys, sorted_values, _ = _sort_passes(keys, values, config, device)
+    assert sorted_values is not None
+    return sorted_keys, sorted_values

@@ -1,0 +1,103 @@
+"""Device-wide and segmented reductions (CUB ``DeviceReduce`` equivalents).
+
+Reductions are not on the LSM's critical path, but the benchmark harness and
+the cleanup implementation use them for validity counting ("how many valid
+elements survive?"), and tests use them as independent oracles for the scan
+results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.gpu.device import Device, get_default_device
+
+_REDUCERS: dict = {
+    "sum": np.sum,
+    "max": np.max,
+    "min": np.min,
+}
+
+
+def device_reduce(
+    values: np.ndarray,
+    op: str = "sum",
+    device: Optional[Device] = None,
+    kernel_name: str = "reduce.device",
+):
+    """Reduce an array with ``op`` in {"sum", "max", "min"}.
+
+    Reducing an empty array with ``sum`` returns 0; ``max``/``min`` raise,
+    matching NumPy (and CUB, which requires an initial value in that case).
+    """
+    device = device or get_default_device()
+    values = np.asarray(values)
+    if op not in _REDUCERS:
+        raise ValueError(f"unsupported reduction op {op!r}")
+    if values.size == 0 and op != "sum":
+        raise ValueError(f"cannot {op}-reduce an empty array without an initial value")
+
+    result = _REDUCERS[op](values) if values.size else 0
+
+    device.record_kernel(
+        kernel_name,
+        coalesced_read_bytes=values.nbytes,
+        coalesced_write_bytes=np.dtype(np.int64).itemsize,
+        work_items=values.size,
+    )
+    return result
+
+
+def segmented_reduce(
+    values: np.ndarray,
+    segment_offsets: np.ndarray,
+    op: str = "sum",
+    device: Optional[Device] = None,
+    kernel_name: str = "reduce.segmented",
+) -> np.ndarray:
+    """Reduce each contiguous segment independently.
+
+    ``segment_offsets`` holds the start of each segment; the last segment
+    runs to the end of ``values``.  Empty segments reduce to 0 for ``sum``
+    and raise for ``max``/``min``.
+    """
+    device = device or get_default_device()
+    values = np.asarray(values)
+    segment_offsets = np.asarray(segment_offsets, dtype=np.int64)
+    if op not in _REDUCERS:
+        raise ValueError(f"unsupported reduction op {op!r}")
+    if segment_offsets.ndim != 1:
+        raise ValueError("segment_offsets must be one-dimensional")
+
+    num_segments = segment_offsets.size
+    ends = np.empty(num_segments, dtype=np.int64)
+    if num_segments:
+        ends[:-1] = segment_offsets[1:]
+        ends[-1] = values.size
+
+    if op == "sum":
+        if values.size:
+            csum = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+        else:
+            csum = np.zeros(1, dtype=np.int64)
+        result = csum[ends] - csum[segment_offsets]
+    else:
+        lengths = ends - segment_offsets
+        if np.any(lengths <= 0):
+            raise ValueError(f"cannot {op}-reduce empty segments")
+        result = np.array(
+            [
+                _REDUCERS[op](values[s:e])
+                for s, e in zip(segment_offsets, ends)
+            ]
+        )
+
+    device.record_kernel(
+        kernel_name,
+        coalesced_read_bytes=values.nbytes + segment_offsets.nbytes,
+        coalesced_write_bytes=result.nbytes if num_segments else 0,
+        work_items=values.size,
+    )
+    return result

@@ -1,0 +1,127 @@
+"""Device-wide and segmented prefix sums (CUB ``DeviceScan`` equivalents).
+
+The GPU LSM uses an exclusive scan to turn the per-query, per-level result
+count estimates of COUNT and RANGE queries into global output offsets
+(Fig. 2c/2d line 10), and the compaction and multisplit primitives are built
+on scans as well.
+
+The functional work is a single ``numpy.cumsum``; the traffic model charges
+one read and one write of the input (the standard "decoupled look-back"
+single-pass scan reads and writes each element once).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.device import Device, get_default_device
+
+
+def _as_int_array(values: np.ndarray, name: str) -> np.ndarray:
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional")
+    return values
+
+
+def exclusive_scan(
+    values: np.ndarray,
+    device: Optional[Device] = None,
+    initial: int = 0,
+    kernel_name: str = "scan.exclusive",
+) -> Tuple[np.ndarray, int]:
+    """Exclusive plus-scan.
+
+    Returns the scanned array (same length as the input) and the total sum,
+    matching CUB's ``ExclusiveSum`` + the common pattern of reading the
+    aggregate from the last element.
+
+    ``initial`` seeds the scan, which the count/range pipeline uses when
+    appending results after an existing region of the output buffer.
+    """
+    device = device or get_default_device()
+    values = _as_int_array(values, "values")
+    acc = np.cumsum(values, dtype=np.int64)
+    total = int(acc[-1]) if values.size else 0
+    result = np.empty(values.size, dtype=np.int64)
+    if values.size:
+        result[0] = initial
+        result[1:] = acc[:-1] + initial
+
+    device.record_kernel(
+        kernel_name,
+        coalesced_read_bytes=values.nbytes,
+        coalesced_write_bytes=result.nbytes,
+        work_items=values.size,
+    )
+    return result, total + initial if values.size else initial
+
+
+def inclusive_scan(
+    values: np.ndarray,
+    device: Optional[Device] = None,
+    kernel_name: str = "scan.inclusive",
+) -> np.ndarray:
+    """Inclusive plus-scan (CUB ``InclusiveSum``)."""
+    device = device or get_default_device()
+    values = _as_int_array(values, "values")
+    result = np.cumsum(values, dtype=np.int64)
+
+    device.record_kernel(
+        kernel_name,
+        coalesced_read_bytes=values.nbytes,
+        coalesced_write_bytes=result.nbytes,
+        work_items=values.size,
+    )
+    return result
+
+
+def segmented_exclusive_scan(
+    values: np.ndarray,
+    segment_offsets: np.ndarray,
+    device: Optional[Device] = None,
+    kernel_name: str = "scan.segmented_exclusive",
+) -> np.ndarray:
+    """Exclusive plus-scan restarted at every segment boundary.
+
+    ``segment_offsets`` holds the start index of each segment
+    (length ``num_segments``); segments are contiguous and cover the whole
+    input, the last segment extending to ``len(values)``.
+    """
+    device = device or get_default_device()
+    values = _as_int_array(values, "values")
+    segment_offsets = np.asarray(segment_offsets, dtype=np.int64)
+    if segment_offsets.ndim != 1:
+        raise ValueError("segment_offsets must be one-dimensional")
+    if segment_offsets.size and (
+        segment_offsets[0] != 0
+        or np.any(np.diff(segment_offsets) < 0)
+        or (segment_offsets[-1] > values.size)
+    ):
+        raise ValueError("segment_offsets must be sorted, start at 0 and stay in range")
+
+    result = np.zeros(values.size, dtype=np.int64)
+    if values.size:
+        inclusive = np.cumsum(values, dtype=np.int64)
+        result[1:] = inclusive[:-1]
+        # Subtract, from every element, the whole-array exclusive sum at the
+        # start of its segment — this restarts the scan per segment without
+        # a Python loop.  Each segment start (duplicates from empty segments
+        # included) bumps the per-element segment id by one, so every
+        # element maps to the segment it actually belongs to.
+        marks = np.zeros(values.size, dtype=np.int64)
+        in_range_starts = segment_offsets[segment_offsets < values.size]
+        np.add.at(marks, in_range_starts, 1)
+        seg_of = np.cumsum(marks) - 1
+        base = result[segment_offsets[seg_of]]
+        result = result - base
+
+    device.record_kernel(
+        kernel_name,
+        coalesced_read_bytes=values.nbytes + segment_offsets.nbytes,
+        coalesced_write_bytes=result.nbytes,
+        work_items=values.size,
+    )
+    return result

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite.
+
+Every test that touches the simulated GPU gets its own :class:`Device`, so
+traffic counters and memory accounting never leak between tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device, set_default_device
+from repro.gpu.spec import K40C_SPEC, TINY_SPEC
+
+
+@pytest.fixture
+def device():
+    """A fresh K40c-spec device per test."""
+    dev = Device(K40C_SPEC, seed=1234)
+    yield dev
+
+
+@pytest.fixture
+def tiny_device():
+    """A small device (64 MiB DRAM) for out-of-memory tests."""
+    dev = Device(TINY_SPEC, seed=1234)
+    yield dev
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy RNG."""
+    return np.random.default_rng(0xBADC0DE)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_default_device():
+    """Reset the process-wide default device around every test so tests that
+    rely on the implicit device do not observe each other's traffic."""
+    set_default_device(None)
+    yield
+    set_default_device(None)

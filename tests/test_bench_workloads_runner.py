@@ -1,0 +1,176 @@
+"""Unit tests for the benchmark workload generators and measurement runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import (
+    ExperimentRunner,
+    RateSummary,
+    sample_resident_counts,
+    scaled_spec,
+)
+from repro.bench.workloads import WorkloadConfig, make_workload
+from repro.core.encoding import MAX_KEY
+from repro.gpu.spec import K40C_SPEC
+
+
+class TestWorkloadConfig:
+    def test_rejects_zero_elements(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_elements=0)
+
+    def test_rejects_impossible_unique_draw(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_elements=100, key_space=10, unique=True)
+
+    def test_rejects_oversized_key_space(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_elements=10, key_space=MAX_KEY + 1)
+
+
+class TestMakeWorkload:
+    def test_unique_keys(self):
+        wl = make_workload(WorkloadConfig(num_elements=5000, seed=1))
+        assert wl.num_elements == 5000
+        assert np.unique(wl.keys).size == 5000
+        assert wl.keys.dtype == np.uint32
+
+    def test_deterministic_for_seed(self):
+        a = make_workload(WorkloadConfig(num_elements=1000, seed=3))
+        b = make_workload(WorkloadConfig(num_elements=1000, seed=3))
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.values, b.values)
+
+    def test_non_unique_mode(self):
+        wl = make_workload(WorkloadConfig(num_elements=100, key_space=10, unique=False))
+        assert wl.keys.size == 100
+        assert wl.keys.max() < 10
+
+    def test_existing_queries_are_members(self):
+        wl = make_workload(WorkloadConfig(num_elements=2000, seed=2))
+        queries = wl.existing_queries(500)
+        assert np.isin(queries, wl.keys).all()
+
+    def test_missing_queries_are_not_members(self):
+        wl = make_workload(WorkloadConfig(num_elements=2000, seed=2))
+        queries = wl.missing_queries(500)
+        assert not np.isin(queries, wl.keys).any()
+        assert queries.max() <= MAX_KEY
+
+    def test_range_queries_have_expected_width(self):
+        wl = make_workload(WorkloadConfig(num_elements=1 << 14, seed=4))
+        k1, k2 = wl.range_queries(200, expected_width=32)
+        assert np.all(k2 > k1)
+        # Empirical mean hit count should be within a factor of ~2 of L.
+        hits = [
+            np.count_nonzero((wl.keys >= a) & (wl.keys <= b))
+            for a, b in zip(k1[:50], k2[:50])
+        ]
+        assert 8 <= np.mean(hits) <= 128
+
+    def test_range_queries_reject_bad_width(self):
+        wl = make_workload(WorkloadConfig(num_elements=100, seed=5))
+        with pytest.raises(ValueError):
+            wl.range_queries(10, expected_width=0)
+
+    def test_batches_iterator(self):
+        wl = make_workload(WorkloadConfig(num_elements=100, seed=6))
+        batches = list(wl.batches(32))
+        assert len(batches) == 3  # trailing partial batch dropped
+        for keys, values in batches:
+            assert keys.size == 32 and values.size == 32
+
+
+class TestRateSummary:
+    def test_min_max_mean(self):
+        s = RateSummary("x")
+        for r in (10.0, 20.0, 40.0):
+            s.add(r)
+        assert s.min == 10.0
+        assert s.max == 40.0
+        # harmonic mean of 10, 20, 40 = 3 / (0.1 + 0.05 + 0.025)
+        assert s.harmonic_mean == pytest.approx(3 / 0.175)
+
+    def test_rejects_nonpositive_rate(self):
+        s = RateSummary("x")
+        with pytest.raises(ValueError):
+            s.add(0.0)
+        with pytest.raises(ValueError):
+            s.add(float("inf"))
+
+    def test_empty_summary_is_nan(self):
+        s = RateSummary("x")
+        assert np.isnan(s.harmonic_mean)
+        assert np.isnan(s.min)
+
+    def test_as_row(self):
+        s = RateSummary("label")
+        s.add(5.0)
+        row = s.as_row()
+        assert row["label"] == "label"
+        assert row["samples"] == 1
+
+    def test_combined_harmonic_mean(self):
+        a = RateSummary("a"); a.add(10.0)
+        b = RateSummary("b"); b.add(30.0)
+        combined = RateSummary.combined_harmonic_mean([a, b])
+        assert combined == pytest.approx(2 / (1 / 10 + 1 / 30))
+
+
+class TestExperimentRunner:
+    def test_measure_returns_rate(self):
+        runner = ExperimentRunner()
+        rate = runner.measure(
+            1000, lambda: runner.device.record_kernel("k", coalesced_read_bytes=1 << 20)
+        )
+        assert rate > 0
+
+    def test_measure_isolated_between_calls(self):
+        runner = ExperimentRunner()
+        runner.device.record_kernel("warmup", coalesced_read_bytes=1 << 30)
+        seconds = runner.measure_seconds(
+            lambda: runner.device.record_kernel("k", coalesced_read_bytes=1 << 10)
+        )
+        # Must reflect only the 1 KiB kernel, not the warmup gigabyte.
+        assert seconds < 1e-3
+
+    def test_measure_no_work_raises(self):
+        runner = ExperimentRunner()
+        with pytest.raises(RuntimeError):
+            runner.measure(10, lambda: None)
+
+    def test_fresh_device_replaces(self):
+        runner = ExperimentRunner()
+        old = runner.device
+        new = runner.fresh_device()
+        assert new is runner.device and new is not old
+
+
+class TestScaling:
+    def test_scaled_spec_reduces_launch_overhead(self):
+        spec = scaled_spec(1 << 17, 1 << 27)
+        assert spec.kernel_launch_overhead_us == pytest.approx(
+            K40C_SPEC.kernel_launch_overhead_us / 1024
+        )
+
+    def test_scaled_spec_never_increases(self):
+        spec = scaled_spec(1 << 28, 1 << 27)
+        assert spec.kernel_launch_overhead_us == K40C_SPEC.kernel_launch_overhead_us
+
+    def test_scaled_spec_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            scaled_spec(0, 1 << 27)
+
+    def test_sample_resident_counts_small(self):
+        assert sample_resident_counts(4, 10) == [1, 2, 3, 4]
+
+    def test_sample_resident_counts_caps_and_keeps_endpoints(self):
+        picks = sample_resident_counts(1000, 5)
+        assert picks[0] == 1 and picks[-1] == 1000
+        assert len(picks) <= 6
+
+    def test_sample_resident_counts_validation(self):
+        with pytest.raises(ValueError):
+            sample_resident_counts(0, 5)
+        with pytest.raises(ValueError):
+            sample_resident_counts(5, 0)

@@ -1,0 +1,175 @@
+"""Unit tests for LSMConfig, Level and UpdateBatch construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import build_update_batch
+from repro.core.config import LSMConfig
+from repro.core.encoding import STATUS_REGULAR, STATUS_TOMBSTONE
+from repro.core.level import Level, LevelStateError
+
+
+class TestLSMConfig:
+    def test_defaults(self):
+        cfg = LSMConfig()
+        assert cfg.batch_size == 1 << 16
+        assert cfg.key_dtype == np.uint32
+        assert cfg.value_dtype == np.uint32
+
+    def test_level_capacity_doubles(self):
+        cfg = LSMConfig(batch_size=128)
+        assert cfg.level_capacity(0) == 128
+        assert cfg.level_capacity(1) == 256
+        assert cfg.level_capacity(5) == 128 * 32
+
+    def test_level_capacity_out_of_range(self):
+        cfg = LSMConfig(batch_size=128, max_levels=4)
+        with pytest.raises(ValueError):
+            cfg.level_capacity(4)
+
+    def test_max_elements(self):
+        cfg = LSMConfig(batch_size=4, max_levels=3)
+        assert cfg.max_resident_batches == 7
+        assert cfg.max_elements == 28
+
+    def test_rejects_non_power_of_two_batch(self):
+        with pytest.raises(ValueError):
+            LSMConfig(batch_size=100)
+
+    def test_rejects_batch_of_one(self):
+        with pytest.raises(ValueError):
+            LSMConfig(batch_size=1)
+
+    def test_rejects_signed_key_dtype(self):
+        with pytest.raises(TypeError):
+            LSMConfig(key_dtype=np.int32)
+
+    def test_rejects_bad_max_levels(self):
+        with pytest.raises(ValueError):
+            LSMConfig(max_levels=0)
+        with pytest.raises(ValueError):
+            LSMConfig(max_levels=64)
+
+    def test_encoder_matches_dtype(self):
+        cfg = LSMConfig(key_dtype=np.uint64)
+        assert cfg.encoder.key_bits == 64
+
+
+class TestLevel:
+    def test_initially_empty(self):
+        lvl = Level(index=0, capacity=16)
+        assert lvl.is_empty and not lvl.is_full
+        assert lvl.size == 0
+        assert lvl.nbytes == 0
+
+    def test_fill_and_clear(self):
+        lvl = Level(index=0, capacity=4)
+        lvl.fill(np.arange(4, dtype=np.uint32), np.arange(4, dtype=np.uint32))
+        assert lvl.is_full and lvl.size == 4
+        assert lvl.nbytes == 32
+        lvl.clear()
+        assert lvl.is_empty
+
+    def test_fill_wrong_size_rejected(self):
+        lvl = Level(index=0, capacity=4)
+        with pytest.raises(LevelStateError):
+            lvl.fill(np.arange(3, dtype=np.uint32), None)
+
+    def test_fill_while_full_rejected(self):
+        lvl = Level(index=0, capacity=2)
+        lvl.fill(np.arange(2, dtype=np.uint32), None)
+        with pytest.raises(LevelStateError):
+            lvl.fill(np.arange(2, dtype=np.uint32), None)
+
+    def test_values_length_mismatch_rejected(self):
+        lvl = Level(index=0, capacity=2)
+        with pytest.raises(LevelStateError):
+            lvl.fill(np.arange(2, dtype=np.uint32), np.arange(3, dtype=np.uint32))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Level(index=-1, capacity=4)
+        with pytest.raises(ValueError):
+            Level(index=0, capacity=0)
+
+
+class TestUpdateBatch:
+    def _config(self, b=8):
+        return LSMConfig(batch_size=b)
+
+    def test_full_insert_batch(self):
+        cfg = self._config()
+        batch = build_update_batch(
+            cfg,
+            insert_keys=np.arange(8, dtype=np.uint32),
+            insert_values=np.arange(8, dtype=np.uint32),
+        )
+        assert batch.size == 8
+        assert batch.real_count == 8
+        assert batch.padding_count == 0
+        assert batch.num_insertions == 8 and batch.num_deletions == 0
+        enc = cfg.encoder
+        assert np.all(enc.is_regular(batch.encoded_keys))
+
+    def test_pure_delete_batch_is_all_tombstones(self):
+        cfg = self._config()
+        batch = build_update_batch(cfg, delete_keys=np.arange(8, dtype=np.uint32))
+        assert batch.num_deletions == 8
+        assert np.all(cfg.encoder.is_tombstone(batch.encoded_keys))
+        assert batch.values is not None  # zero-filled values
+
+    def test_mixed_batch(self):
+        cfg = self._config()
+        batch = build_update_batch(
+            cfg,
+            insert_keys=np.array([1, 2, 3], dtype=np.uint32),
+            insert_values=np.array([10, 20, 30], dtype=np.uint32),
+            delete_keys=np.array([4, 5], dtype=np.uint32),
+        )
+        assert batch.num_insertions == 3
+        assert batch.num_deletions == 2
+        assert batch.real_count == 5
+        assert batch.padding_count == 3
+
+    def test_partial_batch_padded_with_last_element(self):
+        cfg = self._config()
+        batch = build_update_batch(
+            cfg,
+            insert_keys=np.array([7], dtype=np.uint32),
+            insert_values=np.array([70], dtype=np.uint32),
+        )
+        enc = cfg.encoder
+        assert batch.padding_count == 7
+        assert np.all(enc.decode_key(batch.encoded_keys) == 7)
+        assert np.all(batch.values == 70)
+        assert batch.utilisation == pytest.approx(1 / 8)
+
+    def test_key_only_mode(self):
+        cfg = self._config()
+        batch = build_update_batch(cfg, insert_keys=np.arange(4, dtype=np.uint32),
+                                   key_only=True)
+        assert batch.values is None
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            build_update_batch(self._config())
+
+    def test_oversized_batch_rejected(self):
+        with pytest.raises(ValueError):
+            build_update_batch(
+                self._config(),
+                insert_keys=np.arange(9, dtype=np.uint32),
+                insert_values=np.arange(9, dtype=np.uint32),
+            )
+
+    def test_missing_values_rejected(self):
+        with pytest.raises(ValueError):
+            build_update_batch(self._config(), insert_keys=np.arange(4, dtype=np.uint32))
+
+    def test_value_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_update_batch(
+                self._config(),
+                insert_keys=np.arange(4, dtype=np.uint32),
+                insert_values=np.arange(3, dtype=np.uint32),
+            )

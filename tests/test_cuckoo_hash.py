@@ -1,0 +1,139 @@
+"""Unit tests for the cuckoo hash table baseline (repro.baselines.cuckoo_hash)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cuckoo_hash import (
+    CuckooBuildError,
+    CuckooHashTable,
+    EMPTY_SLOT,
+    STASH_SIZE,
+)
+
+
+class TestBuild:
+    def test_build_and_lookup_all(self, device, rng):
+        keys = rng.choice(1 << 30, 2000, replace=False).astype(np.uint64)
+        values = rng.integers(0, 1 << 30, 2000, dtype=np.uint64)
+        table = CuckooHashTable(device=device)
+        table.bulk_build(keys, values)
+        res = table.lookup(keys)
+        assert res.found.all()
+        assert np.array_equal(res.values, values)
+
+    def test_missing_keys_not_found(self, device, rng):
+        keys = rng.choice(1 << 20, 1000, replace=False).astype(np.uint64)
+        table = CuckooHashTable(device=device)
+        table.bulk_build(keys, keys)
+        missing = keys + (1 << 21)
+        assert not table.lookup(missing).found.any()
+
+    def test_table_size_respects_load_factor(self, device, rng):
+        keys = rng.choice(1 << 20, 1000, replace=False).astype(np.uint64)
+        table = CuckooHashTable(device=device, load_factor=0.5)
+        table.bulk_build(keys, keys)
+        assert table.table_size >= 2000
+
+    def test_high_load_factor_still_builds(self, device, rng):
+        keys = rng.choice(1 << 25, 4000, replace=False).astype(np.uint64)
+        table = CuckooHashTable(device=device, load_factor=0.9)
+        table.bulk_build(keys, keys)
+        assert table.lookup(keys[:100]).found.all()
+
+    def test_single_element(self, device):
+        table = CuckooHashTable(device=device)
+        table.bulk_build(np.array([7], dtype=np.uint64), np.array([70], dtype=np.uint64))
+        res = table.lookup(np.array([7, 8], dtype=np.uint64))
+        assert res.found[0] and res.values[0] == 70
+        assert not res.found[1]
+
+    def test_rejects_empty_build(self, device):
+        with pytest.raises(ValueError):
+            CuckooHashTable(device=device).bulk_build(
+                np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.uint64)
+            )
+
+    def test_rejects_sentinel_key(self, device):
+        with pytest.raises(ValueError):
+            CuckooHashTable(device=device).bulk_build(
+                np.array([EMPTY_SLOT], dtype=np.uint64),
+                np.array([1], dtype=np.uint64),
+            )
+
+    def test_rejects_mismatched_lengths(self, device):
+        with pytest.raises(ValueError):
+            CuckooHashTable(device=device).bulk_build(
+                np.arange(3, dtype=np.uint64), np.arange(4, dtype=np.uint64)
+            )
+
+    def test_reproducible_with_seed(self, device, rng):
+        keys = rng.choice(1 << 20, 500, replace=False).astype(np.uint64)
+        t1 = CuckooHashTable(device=device, seed=5)
+        t2 = CuckooHashTable(device=device, seed=5)
+        t1.bulk_build(keys, keys)
+        t2.bulk_build(keys, keys)
+        assert np.array_equal(t1.table_keys, t2.table_keys)
+
+    def test_invalid_parameters(self, device):
+        with pytest.raises(ValueError):
+            CuckooHashTable(device=device, load_factor=0.99)
+        with pytest.raises(ValueError):
+            CuckooHashTable(device=device, num_hash_functions=1)
+
+
+class TestLookup:
+    def test_empty_table(self, device):
+        table = CuckooHashTable(device=device)
+        res = table.lookup(np.array([1], dtype=np.uint64))
+        assert not res.found[0]
+
+    def test_empty_query_set(self, device, rng):
+        keys = rng.choice(1 << 20, 100, replace=False).astype(np.uint64)
+        table = CuckooHashTable(device=device)
+        table.bulk_build(keys, keys)
+        assert len(table.lookup(np.zeros(0, dtype=np.uint64))) == 0
+
+    def test_mixed_hit_miss(self, device, rng):
+        keys = rng.choice(1 << 20, 512, replace=False).astype(np.uint64)
+        table = CuckooHashTable(device=device)
+        table.bulk_build(keys, keys * 2)
+        queries = np.concatenate([keys[:10], keys[:10] + (1 << 21)])
+        res = table.lookup(queries)
+        assert res.found[:10].all()
+        assert not res.found[10:].any()
+        assert np.array_equal(res.values[:10], keys[:10] * 2)
+
+    def test_lookup_traffic_independent_of_size(self, device, rng):
+        # O(1) probes: per-query traffic must not grow with table size the
+        # way binary search does (the basis of Table III's cuckoo advantage).
+        q = rng.choice(1 << 20, 256, replace=False).astype(np.uint64)
+        small_keys = rng.choice(1 << 20, 1 << 9, replace=False).astype(np.uint64)
+        large_keys = rng.choice(1 << 25, 1 << 13, replace=False).astype(np.uint64)
+
+        small = CuckooHashTable(device=device)
+        small.bulk_build(small_keys, small_keys)
+        large = CuckooHashTable(device=device)
+        large.bulk_build(large_keys, large_keys)
+
+        before = device.snapshot()
+        small.lookup(q)
+        small_traffic = device.counter.since(before).total_bytes
+        before = device.snapshot()
+        large.lookup(q)
+        large_traffic = device.counter.since(before).total_bytes
+        # Allow a small tolerance: probe-termination patterns differ slightly.
+        assert large_traffic <= small_traffic * 2.5
+
+
+class TestStashBehaviour:
+    def test_stash_lookup(self, device, rng):
+        # Force stash usage by jamming a tiny table at a high load factor
+        # with few hash functions; if the build succeeds with a stash, the
+        # stashed keys must still be found.
+        keys = rng.choice(1 << 16, 200, replace=False).astype(np.uint64)
+        table = CuckooHashTable(device=device, load_factor=0.95,
+                                num_hash_functions=2, max_rebuild_attempts=20)
+        table.bulk_build(keys, keys)
+        res = table.lookup(keys)
+        assert res.found.all()
+        assert table.stash_keys.size <= STASH_SIZE

@@ -1,0 +1,169 @@
+"""Unit tests for device memory management (repro.gpu.memory)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.errors import BufferStateError, DeviceMemoryError, DeviceMismatchError
+from repro.gpu.memory import MemoryPool
+from repro.gpu.device import Device
+from repro.gpu.spec import TINY_SPEC, K40C_SPEC
+
+
+class TestMemoryPool:
+    def test_allocate_and_free_roundtrip(self):
+        pool = MemoryPool(1024)
+        rec = pool.allocate(512, label="x")
+        assert pool.used_bytes == 512
+        pool.free(rec)
+        assert pool.used_bytes == 0
+
+    def test_peak_tracking(self):
+        pool = MemoryPool(1024)
+        a = pool.allocate(400)
+        b = pool.allocate(400)
+        pool.free(a)
+        pool.free(b)
+        assert pool.peak_bytes == 800
+        assert pool.used_bytes == 0
+
+    def test_out_of_memory_raises(self):
+        pool = MemoryPool(100)
+        pool.allocate(60)
+        with pytest.raises(DeviceMemoryError):
+            pool.allocate(50)
+
+    def test_oom_error_is_informative(self):
+        pool = MemoryPool(100)
+        with pytest.raises(DeviceMemoryError, match="out of memory"):
+            pool.allocate(200, label="big")
+
+    def test_double_free_raises(self):
+        pool = MemoryPool(100)
+        rec = pool.allocate(10)
+        pool.free(rec)
+        with pytest.raises(BufferStateError):
+            pool.free(rec)
+
+    def test_negative_allocation_rejected(self):
+        pool = MemoryPool(100)
+        with pytest.raises(ValueError):
+            pool.allocate(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+
+    def test_describe_fields(self):
+        pool = MemoryPool(1000)
+        pool.allocate(100)
+        info = pool.describe()
+        assert info["capacity_bytes"] == 1000
+        assert info["used_bytes"] == 100
+        assert info["free_bytes"] == 900
+        assert info["live_allocations"] == 1
+
+    def test_live_allocation_count(self):
+        pool = MemoryPool(1000)
+        a = pool.allocate(10)
+        b = pool.allocate(10)
+        assert pool.live_allocations == 2
+        pool.free(a)
+        assert pool.live_allocations == 1
+        pool.free(b)
+
+
+class TestDeviceArray:
+    def test_alloc_shape_and_dtype(self, device):
+        arr = device.alloc(128, dtype=np.uint32)
+        assert arr.shape == (128,)
+        assert arr.dtype == np.uint32
+        assert arr.nbytes == 128 * 4
+
+    def test_zeros_initialised(self, device):
+        arr = device.zeros(64, dtype=np.uint64)
+        assert np.all(arr.data == 0)
+
+    def test_from_host_copies(self, device):
+        host = np.arange(10, dtype=np.uint32)
+        arr = device.from_host(host)
+        host[0] = 999
+        assert arr.data[0] == 0  # device copy unaffected by host mutation
+
+    def test_to_host_returns_detached_copy(self, device):
+        arr = device.from_host(np.arange(5, dtype=np.uint32))
+        out = arr.to_host()
+        out[0] = 42
+        assert arr.data[0] == 0
+
+    def test_copy_from_host_shape_mismatch(self, device):
+        arr = device.alloc(4, dtype=np.uint32)
+        with pytest.raises(ValueError):
+            arr.copy_from_host(np.zeros(5, dtype=np.uint32))
+
+    def test_use_after_free_raises(self, device):
+        arr = device.alloc(4)
+        arr.free()
+        with pytest.raises(BufferStateError):
+            arr.to_host()
+
+    def test_double_free_raises(self, device):
+        arr = device.alloc(4)
+        arr.free()
+        with pytest.raises(BufferStateError):
+            arr.free()
+
+    def test_allocation_accounted_in_pool(self, device):
+        before = device.pool.used_bytes
+        arr = device.alloc(1024, dtype=np.uint8)
+        assert device.pool.used_bytes == before + 1024
+        arr.free()
+        assert device.pool.used_bytes == before
+
+    def test_cross_device_check(self):
+        d1 = Device(K40C_SPEC)
+        d2 = Device(K40C_SPEC)
+        a = d1.alloc(4)
+        b = d2.alloc(4)
+        with pytest.raises(DeviceMismatchError):
+            a.same_device(b)
+
+    def test_oom_on_tiny_device(self, tiny_device):
+        with pytest.raises(DeviceMemoryError):
+            tiny_device.alloc(128 * 1024 * 1024, dtype=np.uint8)
+
+
+class TestDoubleBuffer:
+    def test_swap_flips_roles(self, device):
+        buf = device.double_buffer(16, dtype=np.uint32, label="db")
+        first = buf.current
+        buf.swap()
+        assert buf.current is not first
+        assert buf.alternate is first
+        assert buf.swap_count == 1
+
+    def test_mismatched_dtypes_rejected(self, device):
+        a = device.alloc(8, dtype=np.uint32)
+        b = device.alloc(8, dtype=np.uint64)
+        from repro.gpu.memory import DoubleBuffer
+
+        with pytest.raises(BufferStateError):
+            DoubleBuffer(a, b)
+
+    def test_mismatched_sizes_rejected(self, device):
+        a = device.alloc(8, dtype=np.uint32)
+        b = device.alloc(16, dtype=np.uint32)
+        from repro.gpu.memory import DoubleBuffer
+
+        with pytest.raises(BufferStateError):
+            DoubleBuffer(a, b)
+
+    def test_free_releases_both_halves(self, device):
+        before = device.pool.used_bytes
+        buf = device.double_buffer(32, dtype=np.uint32)
+        assert device.pool.used_bytes > before
+        buf.free()
+        assert device.pool.used_bytes == before
+
+    def test_nbytes_counts_both_halves(self, device):
+        buf = device.double_buffer(32, dtype=np.uint32)
+        assert buf.nbytes == 2 * 32 * 4

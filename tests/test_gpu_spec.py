@@ -1,0 +1,105 @@
+"""Unit tests for the GPU hardware specification (repro.gpu.spec)."""
+
+import pytest
+
+from repro.gpu.spec import GPUSpec, K40C_SPEC, TINY_SPEC
+
+
+class TestK40CDefaults:
+    def test_name_mentions_k40c(self):
+        assert "K40c" in K40C_SPEC.name
+
+    def test_paper_bandwidth(self):
+        assert K40C_SPEC.dram_bandwidth_gbs == pytest.approx(288.0)
+
+    def test_paper_dram_capacity(self):
+        assert K40C_SPEC.dram_bytes == 12 * 1024**3
+
+    def test_warp_size(self):
+        assert K40C_SPEC.warp_size == 32
+
+    def test_sm_count(self):
+        assert K40C_SPEC.num_sms == 15
+
+    def test_l2_size_matches_paper_footnote(self):
+        assert K40C_SPEC.l2_bytes == 1536 * 1024
+
+    def test_shared_memory_per_sm_matches_paper_footnote(self):
+        assert K40C_SPEC.shared_memory_bytes_per_sm == 48 * 1024
+
+    def test_effective_bandwidth_below_peak(self):
+        assert K40C_SPEC.effective_bandwidth_bytes_per_s < 288e9
+
+    def test_random_bandwidth_below_effective(self):
+        assert (
+            K40C_SPEC.random_bandwidth_bytes_per_s
+            < K40C_SPEC.effective_bandwidth_bytes_per_s
+        )
+
+    def test_launch_overhead_positive(self):
+        assert K40C_SPEC.kernel_launch_overhead_s > 0
+
+    def test_max_resident_threads(self):
+        assert K40C_SPEC.max_resident_threads == 15 * 2048
+
+    def test_total_shared_memory(self):
+        assert K40C_SPEC.total_shared_memory_bytes == 15 * 48 * 1024
+
+
+class TestSpecValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            GPUSpec(num_sms=0)
+
+    def test_rejects_non_power_of_two_warp(self):
+        with pytest.raises(ValueError):
+            GPUSpec(warp_size=33)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            GPUSpec(dram_bandwidth_gbs=-1.0)
+
+    def test_rejects_bandwidth_fraction_above_one(self):
+        with pytest.raises(ValueError):
+            GPUSpec(achievable_bandwidth_fraction=1.5)
+
+    def test_rejects_zero_random_efficiency(self):
+        with pytest.raises(ValueError):
+            GPUSpec(random_access_efficiency=0.0)
+
+    def test_rejects_negative_launch_overhead(self):
+        with pytest.raises(ValueError):
+            GPUSpec(kernel_launch_overhead_us=-1.0)
+
+    def test_rejects_zero_dram(self):
+        with pytest.raises(ValueError):
+            GPUSpec(dram_bytes=0)
+
+    def test_rejects_bad_ecc_overhead(self):
+        with pytest.raises(ValueError):
+            GPUSpec(ecc_overhead=0.0)
+
+
+class TestSpecHelpers:
+    def test_with_overrides_changes_field(self):
+        spec = K40C_SPEC.with_overrides(kernel_launch_overhead_us=1.0)
+        assert spec.kernel_launch_overhead_us == 1.0
+        assert spec.num_sms == K40C_SPEC.num_sms
+
+    def test_with_overrides_does_not_mutate_original(self):
+        K40C_SPEC.with_overrides(num_sms=4)
+        assert K40C_SPEC.num_sms == 15
+
+    def test_describe_contains_key_fields(self):
+        info = K40C_SPEC.describe()
+        assert info["num_sms"] == 15
+        assert info["dram_bandwidth_gbs"] == pytest.approx(288.0)
+        assert "effective_bandwidth_gbs" in info
+
+    def test_tiny_spec_is_smaller(self):
+        assert TINY_SPEC.dram_bytes < K40C_SPEC.dram_bytes
+        assert TINY_SPEC.num_sms < K40C_SPEC.num_sms
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            K40C_SPEC.num_sms = 3  # type: ignore[misc]

@@ -1,0 +1,150 @@
+"""Unit tests for the GPU LSM cleanup operation (Sections III-F / IV-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.invariants import check_lsm_invariants
+from repro.core.lsm import GPULSM
+
+
+def _lsm(device, b=16):
+    return GPULSM(config=LSMConfig(batch_size=b, validate_invariants=True),
+                  device=device)
+
+
+class TestCleanup:
+    def test_removes_tombstones_and_duplicates(self, device, rng):
+        lsm = _lsm(device, b=16)
+        keys = rng.choice(10000, 64, replace=False).astype(np.uint32)
+        for i in range(0, 64, 16):
+            lsm.insert(keys[i:i + 16], np.full(16, 1, dtype=np.uint32))
+        lsm.insert(keys[:16], np.full(16, 2, dtype=np.uint32))   # replacements
+        lsm.delete(keys[16:32])                                   # deletions
+        before = lsm.num_elements
+        stats = lsm.cleanup()
+        assert stats["elements_before"] == before
+        assert stats["removed"] > 0
+        assert lsm.num_elements < before
+
+    def test_queries_unchanged_by_cleanup(self, device, rng):
+        lsm = _lsm(device, b=16)
+        keys = rng.choice(100000, 128, replace=False).astype(np.uint32)
+        values = rng.integers(0, 1000, 128, dtype=np.uint32)
+        for i in range(0, 128, 16):
+            lsm.insert(keys[i:i + 16], values[i:i + 16])
+        lsm.delete(keys[:16])
+        queries = np.concatenate([keys, np.array([100001, 100002], dtype=np.uint32)])
+        before_lookup = lsm.lookup(queries)
+        before_count = lsm.count(np.array([0], dtype=np.uint32),
+                                 np.array([99999], dtype=np.uint32))
+        before_range = lsm.range_query(np.array([0], dtype=np.uint32),
+                                       np.array([99999], dtype=np.uint32))
+        lsm.cleanup()
+        after_lookup = lsm.lookup(queries)
+        after_count = lsm.count(np.array([0], dtype=np.uint32),
+                                np.array([99999], dtype=np.uint32))
+        after_range = lsm.range_query(np.array([0], dtype=np.uint32),
+                                      np.array([99999], dtype=np.uint32))
+        assert np.array_equal(before_lookup.found, after_lookup.found)
+        assert np.array_equal(before_lookup.values[before_lookup.found],
+                              after_lookup.values[after_lookup.found])
+        assert np.array_equal(before_count, after_count)
+        assert np.array_equal(before_range.keys, after_range.keys)
+        assert np.array_equal(before_range.values, after_range.values)
+
+    def test_invariants_hold_after_cleanup(self, device, rng):
+        lsm = _lsm(device, b=8)
+        for _ in range(11):
+            lsm.insert(rng.integers(0, 500, 8, dtype=np.uint32),
+                       rng.integers(0, 100, 8, dtype=np.uint32))
+        lsm.cleanup()
+        check_lsm_invariants(lsm)
+
+    def test_element_count_is_multiple_of_batch(self, device, rng):
+        lsm = _lsm(device, b=8)
+        for _ in range(5):
+            lsm.insert(rng.integers(0, 100, 8, dtype=np.uint32),
+                       rng.integers(0, 100, 8, dtype=np.uint32))
+        lsm.cleanup()
+        assert lsm.num_elements % 8 == 0
+
+    def test_cleanup_on_empty_lsm(self, device):
+        lsm = _lsm(device)
+        stats = lsm.cleanup()
+        assert stats["elements_before"] == 0
+        assert lsm.num_elements == 0
+
+    def test_fully_deleted_lsm_becomes_empty(self, device, rng):
+        lsm = _lsm(device, b=8)
+        keys = rng.choice(1000, 8, replace=False).astype(np.uint32)
+        lsm.insert(keys, np.zeros(8, dtype=np.uint32))
+        lsm.delete(keys)
+        lsm.cleanup()
+        assert lsm.num_elements == 0
+        assert lsm.num_occupied_levels == 0
+        assert not lsm.lookup(keys).found.any()
+
+    def test_cleanup_reduces_levels(self, device, rng):
+        lsm = _lsm(device, b=8)
+        keys = rng.choice(100000, 48, replace=False).astype(np.uint32)
+        for i in range(0, 48, 8):
+            lsm.insert(keys[i:i + 8], np.zeros(8, dtype=np.uint32))
+        lsm.delete(keys[:8])  # r = 7 (three occupied levels), 16 stale elements
+        levels_before = lsm.num_occupied_levels
+        assert levels_before == 3
+        lsm.cleanup()
+        assert lsm.num_occupied_levels <= levels_before
+        assert lsm.num_elements < 7 * 8
+
+    def test_padding_is_invisible_to_queries(self, device, rng):
+        lsm = _lsm(device, b=8)
+        keys = rng.choice(1000, 24, replace=False).astype(np.uint32)
+        for i in range(0, 24, 8):
+            lsm.insert(keys[i:i + 8], np.zeros(8, dtype=np.uint32))
+        lsm.delete(keys[:4])   # forces padding on cleanup
+        stats = lsm.cleanup()
+        assert stats["padding"] > 0
+        counts = lsm.count(np.array([0], dtype=np.uint32),
+                           np.array([lsm.encoder.max_key], dtype=np.uint32))
+        assert counts[0] == 20
+        # The padded placebo key (max_key) must not be reported.
+        res = lsm.lookup(np.array([lsm.encoder.max_key], dtype=np.uint32))
+        assert not res.found[0]
+
+    def test_repeated_cleanup_is_idempotent(self, device, rng):
+        lsm = _lsm(device, b=8)
+        for _ in range(3):
+            lsm.insert(rng.integers(0, 1000, 8, dtype=np.uint32),
+                       rng.integers(0, 100, 8, dtype=np.uint32))
+        lsm.cleanup()
+        elements = lsm.num_elements
+        stats = lsm.cleanup()
+        assert lsm.num_elements == elements
+        # Second cleanup removes only the padding it re-adds (if any).
+        assert stats["removed"] <= lsm.batch_size
+
+    def test_cleanup_cheaper_than_rebuild_traffic(self, device, rng):
+        # Paper Section V-D: cleanup is faster than building from scratch.
+        b = 32
+        lsm = _lsm(device, b=b)
+        keys = rng.choice(1 << 20, 31 * b, replace=False).astype(np.uint32)
+        for i in range(0, 31 * b, b):
+            lsm.insert(keys[i:i + b], np.zeros(b, dtype=np.uint32))
+        before = device.snapshot()
+        lsm.cleanup()
+        cleanup_traffic = device.counter.since(before).total_bytes
+
+        rebuild = _lsm(device, b=b)
+        before = device.snapshot()
+        rebuild.bulk_build(keys, np.zeros(keys.size, dtype=np.uint32))
+        rebuild_traffic = device.counter.since(before).total_bytes
+        assert cleanup_traffic < rebuild_traffic
+
+    def test_counters(self, device, rng):
+        lsm = _lsm(device, b=8)
+        lsm.insert(rng.integers(0, 100, 8, dtype=np.uint32),
+                   np.zeros(8, dtype=np.uint32))
+        assert lsm.total_cleanups == 0
+        lsm.cleanup()
+        assert lsm.total_cleanups == 1

@@ -1,0 +1,242 @@
+"""Unit tests for GPU LSM lookup, count and range queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.lsm import GPULSM
+
+
+def _lsm(device, b=16):
+    return GPULSM(config=LSMConfig(batch_size=b, validate_invariants=True),
+                  device=device)
+
+
+@pytest.fixture
+def populated(device, rng):
+    """An LSM holding keys 0, 10, 20, ..., 630 with value = key * 3, built
+    over several batches, plus deletions of the keys divisible by 100."""
+    lsm = _lsm(device, b=16)
+    keys = np.arange(0, 640, 10, dtype=np.uint32)
+    values = (keys * 3).astype(np.uint32)
+    for i in range(0, keys.size, 16):
+        lsm.insert(keys[i:i + 16], values[i:i + 16])
+    deleted = np.arange(0, 640, 100, dtype=np.uint32)
+    lsm.delete(deleted)
+    live = {int(k): int(k) * 3 for k in keys if k % 100 != 0}
+    return lsm, live
+
+
+class TestLookup:
+    def test_existing_keys_found_with_latest_value(self, populated):
+        lsm, live = populated
+        keys = np.array(sorted(live)[:20], dtype=np.uint32)
+        res = lsm.lookup(keys)
+        assert res.found.all()
+        assert list(res.values) == [live[int(k)] for k in keys]
+
+    def test_deleted_keys_not_found(self, populated):
+        lsm, _ = populated
+        res = lsm.lookup(np.arange(0, 640, 100, dtype=np.uint32))
+        assert not res.found.any()
+
+    def test_never_inserted_keys_not_found(self, populated):
+        lsm, _ = populated
+        res = lsm.lookup(np.array([5, 999, 12345], dtype=np.uint32))
+        assert not res.found.any()
+
+    def test_empty_query_batch(self, populated):
+        lsm, _ = populated
+        res = lsm.lookup(np.zeros(0, dtype=np.uint32))
+        assert len(res) == 0
+
+    def test_lookup_on_empty_lsm(self, device):
+        lsm = _lsm(device)
+        res = lsm.lookup(np.array([1, 2, 3], dtype=np.uint32))
+        assert not res.found.any()
+
+    def test_query_domain_enforced(self, populated):
+        lsm, _ = populated
+        with pytest.raises(ValueError):
+            lsm.lookup(np.array([1 << 31], dtype=np.uint64))
+
+    def test_duplicate_queries_in_batch(self, populated):
+        lsm, live = populated
+        k = sorted(live)[0]
+        res = lsm.lookup(np.array([k, k, k], dtype=np.uint32))
+        assert res.found.all()
+        assert np.all(res.values == live[k])
+
+    def test_rejects_2d_queries(self, populated):
+        lsm, _ = populated
+        with pytest.raises(ValueError):
+            lsm.lookup(np.zeros((2, 2), dtype=np.uint32))
+
+    def test_missing_queries_cost_more_than_existing(self, device, rng):
+        # Paper: the worst case for a lookup is a key that does not exist,
+        # because every occupied level must be searched.
+        lsm = _lsm(device, b=64)
+        keys = rng.choice(1 << 20, 448, replace=False).astype(np.uint32)
+        for i in range(0, 448, 64):
+            lsm.insert(keys[i:i + 64], np.zeros(64, dtype=np.uint32))
+        existing = keys[:256]
+        missing = (keys[:256].astype(np.uint64) + (1 << 21)).astype(np.uint32)
+        before = device.snapshot()
+        lsm.lookup(existing)
+        existing_traffic = device.counter.since(before).total_bytes
+        before = device.snapshot()
+        lsm.lookup(missing)
+        missing_traffic = device.counter.since(before).total_bytes
+        assert missing_traffic >= existing_traffic
+
+
+class TestCount:
+    def test_counts_live_keys_only(self, populated):
+        lsm, live = populated
+        counts = lsm.count(np.array([0], dtype=np.uint32),
+                           np.array([639], dtype=np.uint32))
+        assert counts[0] == len(live)
+
+    def test_narrow_ranges(self, populated):
+        lsm, live = populated
+        k1 = np.array([10, 100, 615], dtype=np.uint32)
+        k2 = np.array([30, 100, 639], dtype=np.uint32)
+        counts = lsm.count(k1, k2)
+        assert counts[0] == 3      # 10, 20, 30
+        assert counts[1] == 0      # 100 was deleted
+        assert counts[2] == 2      # 620, 630
+
+    def test_empty_range_between_keys(self, populated):
+        lsm, _ = populated
+        counts = lsm.count(np.array([11], dtype=np.uint32),
+                           np.array([19], dtype=np.uint32))
+        assert counts[0] == 0
+
+    def test_single_key_range(self, populated):
+        lsm, live = populated
+        k = sorted(live)[3]
+        counts = lsm.count(np.array([k], dtype=np.uint32),
+                           np.array([k], dtype=np.uint32))
+        assert counts[0] == 1
+
+    def test_duplicates_counted_once(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.full(8, 42, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        lsm.insert(np.full(8, 42, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        counts = lsm.count(np.array([0], dtype=np.uint32),
+                           np.array([100], dtype=np.uint32))
+        assert counts[0] == 1
+
+    def test_invalid_range_rejected(self, populated):
+        lsm, _ = populated
+        with pytest.raises(ValueError):
+            lsm.count(np.array([10], dtype=np.uint32), np.array([5], dtype=np.uint32))
+
+    def test_empty_query_set(self, populated):
+        lsm, _ = populated
+        assert lsm.count(np.zeros(0, dtype=np.uint32),
+                         np.zeros(0, dtype=np.uint32)).size == 0
+
+    def test_count_on_empty_lsm(self, device):
+        lsm = _lsm(device)
+        counts = lsm.count(np.array([0], dtype=np.uint32),
+                           np.array([100], dtype=np.uint32))
+        assert counts[0] == 0
+
+
+class TestRange:
+    def test_range_returns_sorted_live_pairs(self, populated):
+        lsm, live = populated
+        res = lsm.range_query(np.array([0], dtype=np.uint32),
+                              np.array([639], dtype=np.uint32))
+        keys, values = res.query_slice(0)
+        expected = sorted(live.items())
+        assert list(keys) == [k for k, _ in expected]
+        assert list(values) == [v for _, v in expected]
+
+    def test_range_excludes_deleted(self, populated):
+        lsm, _ = populated
+        res = lsm.range_query(np.array([95], dtype=np.uint32),
+                              np.array([105], dtype=np.uint32))
+        keys, _ = res.query_slice(0)
+        assert 100 not in keys
+
+    def test_counts_property_matches_count_query(self, populated):
+        lsm, _ = populated
+        k1 = np.array([0, 100, 300], dtype=np.uint32)
+        k2 = np.array([639, 200, 350], dtype=np.uint32)
+        res = lsm.range_query(k1, k2)
+        counts = lsm.count(k1, k2)
+        assert np.array_equal(res.counts, counts)
+
+    def test_multiple_queries_layout(self, populated):
+        lsm, live = populated
+        k1 = np.array([10, 200], dtype=np.uint32)
+        k2 = np.array([50, 250], dtype=np.uint32)
+        res = lsm.range_query(k1, k2)
+        assert len(res) == 2
+        assert res.offsets[0] == 0
+        assert res.offsets[-1] == res.keys.size
+        keys0, _ = res.query_slice(0)
+        keys1, _ = res.query_slice(1)
+        assert all(10 <= k <= 50 for k in keys0)
+        assert all(200 <= k <= 250 for k in keys1)
+
+    def test_replaced_value_returned_once_latest(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.full(8, 1, dtype=np.uint32))
+        lsm.insert(np.arange(8, dtype=np.uint32), np.full(8, 2, dtype=np.uint32))
+        res = lsm.range_query(np.array([0], dtype=np.uint32),
+                              np.array([7], dtype=np.uint32))
+        keys, values = res.query_slice(0)
+        assert list(keys) == list(range(8))
+        assert np.all(values == 2)
+
+    def test_range_on_empty_lsm(self, device):
+        lsm = _lsm(device)
+        res = lsm.range_query(np.array([0], dtype=np.uint32),
+                              np.array([10], dtype=np.uint32))
+        keys, _ = res.query_slice(0)
+        assert keys.size == 0
+
+    def test_empty_query_set(self, populated):
+        lsm, _ = populated
+        res = lsm.range_query(np.zeros(0, dtype=np.uint32),
+                              np.zeros(0, dtype=np.uint32))
+        assert len(res) == 0
+
+    def test_overlapping_queries_independent(self, populated):
+        lsm, live = populated
+        k1 = np.array([10, 10], dtype=np.uint32)
+        k2 = np.array([100, 100], dtype=np.uint32)
+        res = lsm.range_query(k1, k2)
+        a, _ = res.query_slice(0)
+        b, _ = res.query_slice(1)
+        assert list(a) == list(b)
+
+
+class TestQueryCostShape:
+    def test_more_levels_cost_more_per_lookup(self, device, rng):
+        # The same number of elements spread over more levels (smaller b)
+        # must generate more search traffic per query — the effect behind
+        # Table III's dependence on batch size.
+        n = 512
+        keys = rng.choice(1 << 20, n, replace=False).astype(np.uint32)
+        values = np.zeros(n, dtype=np.uint32)
+        queries = (keys.astype(np.uint64) + (1 << 21)).astype(np.uint32)[:256]
+
+        few_levels = GPULSM(config=LSMConfig(batch_size=256), device=device)
+        few_levels.bulk_build(keys, values)       # r = 2  -> 1 level
+        before = device.snapshot()
+        few_levels.lookup(queries)
+        few_traffic = device.counter.since(before).total_bytes
+
+        many_levels = GPULSM(config=LSMConfig(batch_size=16), device=device)
+        many_levels.bulk_build(keys, values)      # r = 32 -> 1 level? no: 32 = 100000b -> 1 level
+        # Use r = 31 instead (all levels full): rebuild with 31*16 = 496 keys.
+        many_levels = GPULSM(config=LSMConfig(batch_size=16), device=device)
+        many_levels.bulk_build(keys[:496], values[:496])
+        before = device.snapshot()
+        many_levels.lookup(queries)
+        many_traffic = device.counter.since(before).total_bytes
+        assert many_traffic > few_traffic

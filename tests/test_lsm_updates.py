@@ -1,0 +1,255 @@
+"""Unit tests for GPU LSM insertion, deletion and bulk build."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.invariants import check_lsm_invariants
+from repro.core.lsm import GPULSM
+
+
+def _lsm(device, b=16, **kwargs):
+    cfg = LSMConfig(batch_size=b, validate_invariants=True, **kwargs)
+    return GPULSM(config=cfg, device=device)
+
+
+class TestInsertion:
+    def test_first_batch_fills_level_zero(self, device):
+        lsm = _lsm(device)
+        lsm.insert(np.arange(16, dtype=np.uint32), np.arange(16, dtype=np.uint32))
+        assert lsm.num_batches == 1
+        assert lsm.levels[0].is_full
+        assert lsm.num_elements == 16
+
+    def test_second_batch_merges_into_level_one(self, device):
+        lsm = _lsm(device)
+        for i in range(2):
+            lsm.insert(np.arange(16, dtype=np.uint32) + i * 100,
+                       np.arange(16, dtype=np.uint32))
+        assert lsm.num_batches == 2
+        assert lsm.levels[0].is_empty
+        assert lsm.levels[1].is_full
+        assert lsm.levels[1].size == 32
+
+    def test_occupied_levels_match_binary_representation(self, device, rng):
+        lsm = _lsm(device, b=8)
+        for r in range(1, 14):
+            lsm.insert(rng.integers(0, 10000, 8, dtype=np.uint32),
+                       rng.integers(0, 100, 8, dtype=np.uint32))
+            occupied = {lvl.index for lvl in lsm.occupied_levels()}
+            expected = {i for i in range(10) if (r >> i) & 1}
+            assert occupied == expected, r
+
+    def test_levels_stay_key_sorted(self, device, rng):
+        lsm = _lsm(device, b=32)
+        for _ in range(7):
+            lsm.insert(rng.integers(0, 1 << 20, 32, dtype=np.uint32),
+                       rng.integers(0, 100, 32, dtype=np.uint32))
+        for lvl in lsm.occupied_levels():
+            orig = lsm.encoder.decode_key(lvl.keys)
+            assert np.all(np.diff(orig.astype(np.int64)) >= 0)
+
+    def test_partial_batch_padding(self, device):
+        lsm = _lsm(device, b=16)
+        lsm.insert(np.array([5, 9], dtype=np.uint32), np.array([50, 90], dtype=np.uint32))
+        assert lsm.num_elements == 16  # padded to a full batch
+        res = lsm.lookup(np.array([5, 9], dtype=np.uint32))
+        assert res.found.all()
+        assert list(res.values) == [50, 90]
+
+    def test_num_elements_is_multiple_of_batch(self, device, rng):
+        lsm = _lsm(device, b=8)
+        for _ in range(5):
+            lsm.insert(rng.integers(0, 100, 8, dtype=np.uint32),
+                       rng.integers(0, 100, 8, dtype=np.uint32))
+            assert lsm.num_elements % 8 == 0
+
+    def test_oversized_batch_rejected(self, device):
+        lsm = _lsm(device, b=8)
+        with pytest.raises(ValueError):
+            lsm.insert(np.arange(9, dtype=np.uint32), np.arange(9, dtype=np.uint32))
+
+    def test_key_domain_enforced(self, device):
+        lsm = _lsm(device, b=8)
+        with pytest.raises(ValueError):
+            lsm.insert(np.array([1 << 31], dtype=np.uint64),
+                       np.array([1], dtype=np.uint32))
+
+    def test_overflow_guard(self, device):
+        cfg = LSMConfig(batch_size=2, max_levels=2)
+        lsm = GPULSM(config=cfg, device=device)
+        for i in range(3):
+            lsm.insert(np.array([i, i + 10], dtype=np.uint32),
+                       np.array([0, 0], dtype=np.uint32))
+        with pytest.raises(OverflowError):
+            lsm.insert(np.array([99, 98], dtype=np.uint32),
+                       np.array([0, 0], dtype=np.uint32))
+
+    def test_key_only_mode(self, device):
+        cfg = LSMConfig(batch_size=8, validate_invariants=True)
+        lsm = GPULSM(config=cfg, device=device, key_only=True)
+        lsm.insert(np.arange(8, dtype=np.uint32))
+        res = lsm.lookup(np.array([3, 100], dtype=np.uint32))
+        assert res.values is None
+        assert bool(res.found[0]) and not bool(res.found[1])
+
+    def test_insertion_counters(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        lsm.delete(np.arange(4, dtype=np.uint32))
+        assert lsm.total_insertions == 8
+        assert lsm.total_deletions == 4
+
+
+class TestDeletion:
+    def test_deleted_key_not_found(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32) * 2)
+        lsm.delete(np.array([3], dtype=np.uint32))
+        res = lsm.lookup(np.array([3, 4], dtype=np.uint32))
+        assert not res.found[0]
+        assert res.found[1] and res.values[1] == 8
+
+    def test_delete_then_reinsert(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.full(8, 1, dtype=np.uint32))
+        lsm.delete(np.array([5], dtype=np.uint32))
+        lsm.insert(np.array([5], dtype=np.uint32), np.array([42], dtype=np.uint32))
+        res = lsm.lookup(np.array([5], dtype=np.uint32))
+        assert res.found[0] and res.values[0] == 42
+
+    def test_delete_nonexistent_key_is_harmless(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        lsm.delete(np.array([1000], dtype=np.uint32))
+        res = lsm.lookup(np.arange(8, dtype=np.uint32))
+        assert res.found.all()
+
+    def test_mixed_batch_insert_and_delete_same_key_means_deleted(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        # One batch that both re-inserts key 2 and deletes it: rule 6.
+        lsm.update(
+            insert_keys=np.array([2], dtype=np.uint32),
+            insert_values=np.array([99], dtype=np.uint32),
+            delete_keys=np.array([2], dtype=np.uint32),
+        )
+        assert not lsm.lookup(np.array([2], dtype=np.uint32)).found[0]
+
+    def test_deletion_performance_equals_insertion(self, device, rng):
+        # Paper: "performance does not depend on status bits" — the same
+        # batch of tombstones generates the same traffic as insertions.
+        lsm = _lsm(device, b=64)
+        keys = rng.integers(0, 10000, 64, dtype=np.uint32)
+        before = device.snapshot()
+        lsm.insert(keys, np.zeros(64, dtype=np.uint32))
+        insert_traffic = device.counter.since(before).total_bytes
+
+        lsm2 = _lsm(device, b=64)
+        before = device.snapshot()
+        lsm2.delete(keys)
+        delete_traffic = device.counter.since(before).total_bytes
+        assert delete_traffic == insert_traffic
+
+
+class TestReplacement:
+    def test_latest_value_wins_across_batches(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.full(8, 1, dtype=np.uint32))
+        lsm.insert(np.arange(8, dtype=np.uint32), np.full(8, 2, dtype=np.uint32))
+        res = lsm.lookup(np.arange(8, dtype=np.uint32))
+        assert np.all(res.values == 2)
+
+    def test_duplicate_in_same_batch_first_wins(self, device):
+        lsm = _lsm(device, b=8)
+        keys = np.array([7, 7, 7, 7, 1, 2, 3, 4], dtype=np.uint32)
+        vals = np.array([10, 20, 30, 40, 0, 0, 0, 0], dtype=np.uint32)
+        lsm.insert(keys, vals)
+        res = lsm.lookup(np.array([7], dtype=np.uint32))
+        assert res.found[0] and res.values[0] == 10
+
+    def test_stale_elements_remain_physically_present(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.zeros(8, dtype=np.uint32))
+        lsm.insert(np.arange(8, dtype=np.uint32), np.ones(8, dtype=np.uint32))
+        # 16 resident elements even though only 8 keys are live.
+        assert lsm.num_elements == 16
+
+
+class TestBulkBuild:
+    def test_matches_incremental_queries(self, device, rng):
+        keys = rng.choice(1 << 20, 64, replace=False).astype(np.uint32)
+        values = rng.integers(0, 1000, 64, dtype=np.uint32)
+        bulk = _lsm(device, b=8)
+        bulk.bulk_build(keys, values)
+        incremental = _lsm(device, b=8)
+        for i in range(0, 64, 8):
+            incremental.insert(keys[i:i + 8], values[i:i + 8])
+        queries = np.concatenate([keys[:10], np.array([1 << 22], dtype=np.uint32)])
+        rb = bulk.lookup(queries)
+        ri = incremental.lookup(queries)
+        assert np.array_equal(rb.found, ri.found)
+        assert np.array_equal(rb.values[rb.found], ri.values[ri.found])
+
+    def test_number_of_batches(self, device, rng):
+        lsm = _lsm(device, b=8)
+        lsm.bulk_build(rng.integers(0, 1000, 40, dtype=np.uint32),
+                       rng.integers(0, 1000, 40, dtype=np.uint32))
+        assert lsm.num_batches == 5
+        check_lsm_invariants(lsm)
+
+    def test_pads_non_multiple_input(self, device, rng):
+        lsm = _lsm(device, b=8)
+        lsm.bulk_build(rng.integers(0, 1000, 13, dtype=np.uint32),
+                       rng.integers(0, 1000, 13, dtype=np.uint32))
+        assert lsm.num_batches == 2
+        assert lsm.num_elements == 16
+
+    def test_requires_empty_lsm(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        with pytest.raises(RuntimeError):
+            lsm.bulk_build(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+
+    def test_requires_values_unless_key_only(self, device):
+        lsm = _lsm(device, b=8)
+        with pytest.raises(ValueError):
+            lsm.bulk_build(np.arange(8, dtype=np.uint32))
+
+    def test_bulk_build_cheaper_than_incremental(self, device, rng):
+        keys = rng.choice(1 << 20, 128, replace=False).astype(np.uint32)
+        values = rng.integers(0, 100, 128, dtype=np.uint32)
+        before = device.snapshot()
+        bulk = _lsm(device, b=8)
+        bulk.bulk_build(keys, values)
+        bulk_traffic = device.counter.since(before).total_bytes
+
+        before = device.snapshot()
+        inc = _lsm(device, b=8)
+        for i in range(0, 128, 8):
+            inc.insert(keys[i:i + 8], values[i:i + 8])
+        inc_traffic = device.counter.since(before).total_bytes
+        assert bulk_traffic < inc_traffic
+
+
+class TestMemoryAndIntrospection:
+    def test_memory_usage_tracks_levels(self, device, rng):
+        lsm = _lsm(device, b=8)
+        assert lsm.memory_usage_bytes == 0
+        lsm.insert(rng.integers(0, 100, 8, dtype=np.uint32),
+                   rng.integers(0, 100, 8, dtype=np.uint32))
+        assert lsm.memory_usage_bytes == 8 * 8  # keys + values, 4 bytes each
+
+    def test_len_and_repr(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        assert len(lsm) == 8
+        assert "GPULSM" in repr(lsm)
+
+    def test_stale_fraction_estimate(self, device):
+        lsm = _lsm(device, b=8)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        assert lsm.stale_fraction_estimate() == 0.0
+        # Deleting everything leaves 16 resident elements, none of them live.
+        lsm.delete(np.arange(8, dtype=np.uint32))
+        assert lsm.stale_fraction_estimate() == pytest.approx(1.0)

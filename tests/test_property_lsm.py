@@ -1,0 +1,170 @@
+"""Property-based and stateful tests for the GPU LSM against the oracle.
+
+A Hypothesis rule-based state machine drives the GPU LSM and the
+ReferenceDictionary with the same randomly generated batches (insert,
+delete, mixed, cleanup) and checks lookup/count/range agreement after every
+step — this is the strongest correctness statement in the suite, covering
+interleavings no hand-written test enumerates.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.config import LSMConfig
+from repro.core.invariants import check_lsm_invariants
+from repro.core.lsm import GPULSM
+from repro.core.semantics import BatchOp, ReferenceDictionary
+from repro.gpu.device import Device
+from repro.gpu.spec import K40C_SPEC
+
+BATCH = 8
+KEY_SPACE = 64   # small on purpose: maximises duplicate/delete interactions
+
+key_strategy = st.integers(min_value=0, max_value=KEY_SPACE - 1)
+value_strategy = st.integers(min_value=0, max_value=1000)
+
+
+class LSMComparison(RuleBasedStateMachine):
+    """Drive GPULSM and ReferenceDictionary with identical batches."""
+
+    def __init__(self):
+        super().__init__()
+        self.device = Device(K40C_SPEC, seed=0)
+        self.lsm = GPULSM(
+            config=LSMConfig(batch_size=BATCH, validate_invariants=True),
+            device=self.device,
+        )
+        self.ref = ReferenceDictionary()
+
+    # ------------------------------------------------------------------ #
+    # Rules (operations)
+    # ------------------------------------------------------------------ #
+    @precondition(lambda self: self.lsm.num_batches < 60)
+    @rule(keys=st.lists(key_strategy, min_size=1, max_size=BATCH),
+          values=st.lists(value_strategy, min_size=BATCH, max_size=BATCH))
+    def insert_batch(self, keys, values):
+        keys = np.asarray(keys, dtype=np.uint32)
+        values = np.asarray(values[: keys.size], dtype=np.uint32)
+        self.lsm.insert(keys, values)
+        self.ref.apply_batch(
+            [BatchOp(False, int(k), int(v)) for k, v in zip(keys, values)]
+        )
+
+    @precondition(lambda self: self.lsm.num_batches < 60)
+    @rule(keys=st.lists(key_strategy, min_size=1, max_size=BATCH))
+    def delete_batch(self, keys):
+        keys = np.asarray(keys, dtype=np.uint32)
+        self.lsm.delete(keys)
+        self.ref.apply_batch([BatchOp(True, int(k)) for k in keys])
+
+    @precondition(lambda self: self.lsm.num_batches < 60)
+    @rule(ins=st.lists(key_strategy, min_size=1, max_size=BATCH // 2),
+          dels=st.lists(key_strategy, min_size=1, max_size=BATCH // 2),
+          value=value_strategy)
+    def mixed_batch(self, ins, dels, value):
+        ins = np.asarray(ins, dtype=np.uint32)
+        dels = np.asarray(dels, dtype=np.uint32)
+        vals = np.full(ins.size, value, dtype=np.uint32)
+        self.lsm.update(insert_keys=ins, insert_values=vals, delete_keys=dels)
+        ops = [BatchOp(False, int(k), int(value)) for k in ins]
+        ops += [BatchOp(True, int(k)) for k in dels]
+        self.ref.apply_batch(ops)
+
+    @precondition(lambda self: self.lsm.num_batches > 0)
+    @rule()
+    def cleanup(self):
+        self.lsm.cleanup()
+
+    # ------------------------------------------------------------------ #
+    # Invariants (checked after every rule)
+    # ------------------------------------------------------------------ #
+    @invariant()
+    def structure_is_well_formed(self):
+        check_lsm_invariants(self.lsm)
+
+    @invariant()
+    def lookups_match_oracle(self):
+        queries = np.arange(KEY_SPACE, dtype=np.uint32)
+        res = self.lsm.lookup(queries)
+        expected = self.ref.lookup(queries.tolist())
+        for i, exp in enumerate(expected):
+            if exp is None:
+                assert not res.found[i]
+            else:
+                assert res.found[i] and int(res.values[i]) == exp
+
+    @invariant()
+    def counts_match_oracle(self):
+        k1 = np.array([0, KEY_SPACE // 2, 10], dtype=np.uint32)
+        k2 = np.array([KEY_SPACE - 1, KEY_SPACE - 1, 20], dtype=np.uint32)
+        counts = self.lsm.count(k1, k2)
+        for i in range(k1.size):
+            assert counts[i] == self.ref.count(int(k1[i]), int(k2[i]))
+
+
+LSMComparison.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=20, deadline=None
+)
+TestLSMAgainstOracleStateful = LSMComparison.TestCase
+
+
+class TestLSMProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(keys=st.lists(st.integers(min_value=0, max_value=2**31 - 1),
+                         min_size=1, max_size=64, unique=True))
+    def test_every_inserted_key_is_found(self, keys):
+        device = Device(K40C_SPEC, seed=0)
+        lsm = GPULSM(config=LSMConfig(batch_size=8), device=device)
+        keys = np.asarray(keys, dtype=np.uint32)
+        values = (keys % 997).astype(np.uint32)
+        for i in range(0, keys.size, 8):
+            lsm.insert(keys[i:i + 8], values[i:i + 8])
+        res = lsm.lookup(keys)
+        assert res.found.all()
+        assert np.array_equal(res.values, values)
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=st.lists(st.integers(min_value=0, max_value=1000),
+                         min_size=1, max_size=48, unique=True),
+           lo=st.integers(min_value=0, max_value=1000),
+           width=st.integers(min_value=0, max_value=500))
+    def test_count_equals_range_length(self, keys, lo, width):
+        device = Device(K40C_SPEC, seed=0)
+        lsm = GPULSM(config=LSMConfig(batch_size=8), device=device)
+        keys = np.asarray(keys, dtype=np.uint32)
+        lsm.bulk_build(keys, keys)
+        hi = min(lo + width, 2**31 - 1)
+        k1 = np.array([lo], dtype=np.uint32)
+        k2 = np.array([hi], dtype=np.uint32)
+        counts = lsm.count(k1, k2)
+        rres = lsm.range_query(k1, k2)
+        rkeys, _ = rres.query_slice(0)
+        assert counts[0] == rkeys.size
+        assert counts[0] == np.count_nonzero((keys >= lo) & (keys <= hi))
+        # Range results are sorted and within bounds.
+        assert np.all(np.diff(rkeys.astype(np.int64)) > 0)
+        assert np.all((rkeys >= lo) & (rkeys <= hi))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_cleanup_preserves_query_answers(self, seed):
+        rng = np.random.default_rng(seed)
+        device = Device(K40C_SPEC, seed=0)
+        lsm = GPULSM(config=LSMConfig(batch_size=8), device=device)
+        ref = ReferenceDictionary()
+        for _ in range(rng.integers(1, 6)):
+            keys = rng.integers(0, 100, 8, dtype=np.uint32)
+            vals = rng.integers(0, 100, 8, dtype=np.uint32)
+            if rng.random() < 0.3:
+                lsm.delete(keys)
+                ref.delete_batch(keys.tolist())
+            else:
+                lsm.insert(keys, vals)
+                ref.insert_batch(keys.tolist(), vals.tolist())
+        queries = np.arange(110, dtype=np.uint32)
+        before = lsm.lookup(queries)
+        lsm.cleanup()
+        after = lsm.lookup(queries)
+        assert np.array_equal(before.found, after.found)
+        assert np.array_equal(before.values[before.found], after.values[after.found])

@@ -1,0 +1,162 @@
+"""Integration tests: GPU LSM versus the sequential reference dictionary.
+
+The ReferenceDictionary implements the batch semantics of Section III-A
+directly; these tests drive both implementations with identical randomized
+operation sequences and require every query answer to match, both before
+and after cleanups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.lsm import GPULSM
+from repro.core.semantics import BatchOp, ReferenceDictionary
+
+
+def _assert_lookups_match(lsm, ref, queries):
+    res = lsm.lookup(queries)
+    expected = ref.lookup(queries.tolist())
+    for i, exp in enumerate(expected):
+        if exp is None:
+            assert not res.found[i], f"key {queries[i]} should be absent"
+        else:
+            assert res.found[i], f"key {queries[i]} should be present"
+            assert int(res.values[i]) == exp, f"key {queries[i]} value mismatch"
+
+
+def _assert_counts_match(lsm, ref, k1s, k2s):
+    counts = lsm.count(k1s, k2s)
+    for i in range(k1s.size):
+        assert counts[i] == ref.count(int(k1s[i]), int(k2s[i]))
+
+
+def _assert_ranges_match(lsm, ref, k1s, k2s):
+    res = lsm.range_query(k1s, k2s)
+    for i in range(k1s.size):
+        keys, values = res.query_slice(i)
+        expected = ref.range_query(int(k1s[i]), int(k2s[i]))
+        assert [int(k) for k in keys] == [k for k, _ in expected]
+        assert [int(v) for v in values] == [v for _, v in expected]
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_mixed_workload_matches_reference(self, device, seed):
+        rng = np.random.default_rng(seed)
+        b = 32
+        key_space = 2000
+        lsm = GPULSM(config=LSMConfig(batch_size=b, validate_invariants=True),
+                     device=device)
+        ref = ReferenceDictionary()
+
+        for step in range(12):
+            n_del = int(rng.integers(0, b // 2)) if step > 2 else 0
+            n_ins = b - n_del
+            ins_keys = rng.integers(0, key_space, n_ins, dtype=np.uint32)
+            ins_vals = rng.integers(0, 10000, n_ins, dtype=np.uint32)
+            del_keys = rng.integers(0, key_space, n_del, dtype=np.uint32)
+
+            lsm.update(insert_keys=ins_keys, insert_values=ins_vals,
+                       delete_keys=del_keys if n_del else None)
+            ops = [BatchOp(False, int(k), int(v)) for k, v in zip(ins_keys, ins_vals)]
+            ops += [BatchOp(True, int(k)) for k in del_keys]
+            ref.apply_batch(ops)
+
+            queries = rng.integers(0, key_space + 100, 200, dtype=np.uint32)
+            _assert_lookups_match(lsm, ref, queries)
+
+        k1 = rng.integers(0, key_space, 50, dtype=np.uint32)
+        width = rng.integers(0, 300, 50, dtype=np.uint32)
+        k2 = np.minimum(k1.astype(np.uint64) + width, key_space + 50).astype(np.uint32)
+        _assert_counts_match(lsm, ref, k1, k2)
+        _assert_ranges_match(lsm, ref, k1, k2)
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_equivalence_survives_cleanup(self, device, seed):
+        rng = np.random.default_rng(seed)
+        b = 16
+        key_space = 500
+        lsm = GPULSM(config=LSMConfig(batch_size=b, validate_invariants=True),
+                     device=device)
+        ref = ReferenceDictionary()
+
+        for step in range(9):
+            ins_keys = rng.integers(0, key_space, b, dtype=np.uint32)
+            ins_vals = rng.integers(0, 1000, b, dtype=np.uint32)
+            lsm.insert(ins_keys, ins_vals)
+            ref.insert_batch(ins_keys.tolist(), ins_vals.tolist())
+            if step % 3 == 2:
+                del_keys = rng.integers(0, key_space, b, dtype=np.uint32)
+                lsm.delete(del_keys)
+                ref.delete_batch(del_keys.tolist())
+            if step % 4 == 3:
+                lsm.cleanup()
+            queries = rng.integers(0, key_space + 50, 150, dtype=np.uint32)
+            _assert_lookups_match(lsm, ref, queries)
+
+        lsm.cleanup()
+        queries = np.arange(0, key_space + 50, dtype=np.uint32)
+        _assert_lookups_match(lsm, ref, queries)
+        k1 = np.arange(0, key_space, 37, dtype=np.uint32)
+        k2 = np.minimum(k1 + 60, key_space + 10).astype(np.uint32)
+        _assert_counts_match(lsm, ref, k1, k2)
+        _assert_ranges_match(lsm, ref, k1, k2)
+
+    def test_heavy_duplicate_workload(self, device):
+        # Very small key space: lots of replacements and re-deletions.
+        rng = np.random.default_rng(99)
+        b = 16
+        lsm = GPULSM(config=LSMConfig(batch_size=b, validate_invariants=True),
+                     device=device)
+        ref = ReferenceDictionary()
+        for step in range(10):
+            keys = rng.integers(0, 20, b, dtype=np.uint32)
+            vals = rng.integers(0, 1000, b, dtype=np.uint32)
+            if step % 2:
+                lsm.insert(keys, vals)
+                ref.insert_batch(keys.tolist(), vals.tolist())
+            else:
+                lsm.delete(keys)
+                ref.delete_batch(keys.tolist())
+            _assert_lookups_match(lsm, ref, np.arange(0, 25, dtype=np.uint32))
+            _assert_counts_match(lsm, ref, np.array([0], dtype=np.uint32),
+                                 np.array([30], dtype=np.uint32))
+
+
+class TestReferenceDictionaryItself:
+    def test_rule6_insert_delete_same_batch(self):
+        ref = ReferenceDictionary()
+        ref.apply_batch([BatchOp(False, 1, 10), BatchOp(True, 1)])
+        assert ref.lookup([1]) == [None]
+
+    def test_rule4_first_insert_wins_within_batch(self):
+        ref = ReferenceDictionary()
+        ref.apply_batch([BatchOp(False, 1, 10), BatchOp(False, 1, 20)])
+        assert ref.lookup([1]) == [10]
+
+    def test_rule3_later_batch_replaces(self):
+        ref = ReferenceDictionary()
+        ref.insert_batch([1], [10])
+        ref.insert_batch([1], [20])
+        assert ref.lookup([1]) == [20]
+
+    def test_rule5_delete_removes_all_copies(self):
+        ref = ReferenceDictionary()
+        ref.insert_batch([1], [10])
+        ref.insert_batch([1], [20])
+        ref.delete_batch([1])
+        assert ref.lookup([1]) == [None]
+        assert ref.count(0, 10) == 0
+
+    def test_range_query_sorted(self):
+        ref = ReferenceDictionary()
+        ref.insert_batch([5, 1, 9], [50, 10, 90])
+        assert ref.range_query(0, 10) == [(1, 10), (5, 50), (9, 90)]
+
+    def test_contains_and_len(self):
+        ref = ReferenceDictionary()
+        ref.insert_batch([1, 2], [1, 2])
+        assert 1 in ref and 3 not in ref
+        assert len(ref) == 2
+        assert ref.live_items() == {1: 1, 2: 2}

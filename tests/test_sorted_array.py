@@ -1,0 +1,184 @@
+"""Unit tests for the GPU sorted-array baseline (repro.baselines.sorted_array)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sorted_array import GPUSortedArray
+
+
+class TestBuildAndInsert:
+    def test_bulk_build_sorts(self, device, rng):
+        keys = rng.choice(100000, 500, replace=False).astype(np.uint32)
+        values = rng.integers(0, 1000, 500, dtype=np.uint32)
+        sa = GPUSortedArray(device=device)
+        sa.bulk_build(keys, values)
+        assert np.all(np.diff(sa.keys.astype(np.int64)) > 0)
+        assert sa.num_elements == 500
+
+    def test_bulk_build_requires_empty(self, device, rng):
+        sa = GPUSortedArray(device=device)
+        sa.bulk_build(np.arange(4, dtype=np.uint32), np.arange(4, dtype=np.uint32))
+        with pytest.raises(RuntimeError):
+            sa.bulk_build(np.arange(4, dtype=np.uint32), np.arange(4, dtype=np.uint32))
+
+    def test_bulk_build_dedups_keeping_first(self, device):
+        sa = GPUSortedArray(device=device)
+        sa.bulk_build(np.array([5, 5, 7], dtype=np.uint32),
+                      np.array([1, 2, 3], dtype=np.uint32))
+        assert sa.num_elements == 2
+        res = sa.lookup(np.array([5], dtype=np.uint32))
+        assert res.values[0] == 1
+
+    def test_insert_into_empty(self, device):
+        sa = GPUSortedArray(device=device)
+        sa.insert(np.array([3, 1], dtype=np.uint32), np.array([30, 10], dtype=np.uint32))
+        assert list(sa.keys) == [1, 3]
+
+    def test_insert_merges_and_replaces(self, device):
+        sa = GPUSortedArray(device=device)
+        sa.bulk_build(np.array([1, 5, 9], dtype=np.uint32),
+                      np.array([10, 50, 90], dtype=np.uint32))
+        sa.insert(np.array([5, 7], dtype=np.uint32), np.array([55, 70], dtype=np.uint32))
+        res = sa.lookup(np.array([5, 7, 9], dtype=np.uint32))
+        assert list(res.values) == [55, 70, 90]
+        assert sa.num_elements == 4  # 1, 5, 7, 9
+
+    def test_key_only_mode(self, device):
+        sa = GPUSortedArray(device=device, key_only=True)
+        sa.insert(np.array([2, 4], dtype=np.uint32))
+        res = sa.lookup(np.array([2, 3], dtype=np.uint32))
+        assert res.values is None
+        assert bool(res.found[0]) and not bool(res.found[1])
+
+    def test_key_domain_enforced(self, device):
+        sa = GPUSortedArray(device=device)
+        with pytest.raises(ValueError):
+            sa.insert(np.array([1 << 31], dtype=np.uint64),
+                      np.array([1], dtype=np.uint32))
+
+    def test_empty_insert_rejected(self, device):
+        sa = GPUSortedArray(device=device)
+        with pytest.raises(ValueError):
+            sa.insert(np.zeros(0, dtype=np.uint32), np.zeros(0, dtype=np.uint32))
+
+    def test_insert_traffic_grows_with_array_size(self, device, rng):
+        # The SA's weakness: inserting a small batch costs O(n).
+        small = GPUSortedArray(device=device)
+        small.bulk_build(np.arange(256, dtype=np.uint32),
+                         np.zeros(256, dtype=np.uint32))
+        big = GPUSortedArray(device=device)
+        big.bulk_build(np.arange(4096, dtype=np.uint32),
+                       np.zeros(4096, dtype=np.uint32))
+        batch_k = np.arange(10000, 10064, dtype=np.uint32)
+        batch_v = np.zeros(64, dtype=np.uint32)
+        before = device.snapshot()
+        small.insert(batch_k, batch_v)
+        small_traffic = device.counter.since(before).total_bytes
+        before = device.snapshot()
+        big.insert(batch_k, batch_v)
+        big_traffic = device.counter.since(before).total_bytes
+        assert big_traffic > small_traffic
+
+
+class TestDelete:
+    def test_delete_removes_keys(self, device):
+        sa = GPUSortedArray(device=device)
+        sa.bulk_build(np.arange(10, dtype=np.uint32), np.arange(10, dtype=np.uint32))
+        sa.delete(np.array([3, 7], dtype=np.uint32))
+        assert sa.num_elements == 8
+        res = sa.lookup(np.array([3, 7, 4], dtype=np.uint32))
+        assert not res.found[0] and not res.found[1] and res.found[2]
+
+    def test_delete_missing_key_is_noop(self, device):
+        sa = GPUSortedArray(device=device)
+        sa.bulk_build(np.arange(5, dtype=np.uint32), np.arange(5, dtype=np.uint32))
+        sa.delete(np.array([100], dtype=np.uint32))
+        assert sa.num_elements == 5
+
+    def test_delete_from_empty(self, device):
+        sa = GPUSortedArray(device=device)
+        sa.delete(np.array([1], dtype=np.uint32))
+        assert sa.num_elements == 0
+
+
+class TestQueries:
+    @pytest.fixture
+    def built(self, device, rng):
+        keys = np.arange(0, 2000, 10, dtype=np.uint32)
+        values = keys * 2
+        sa = GPUSortedArray(device=device)
+        sa.bulk_build(keys, values.astype(np.uint32))
+        return sa
+
+    def test_lookup_existing_and_missing(self, built):
+        res = built.lookup(np.array([20, 25], dtype=np.uint32))
+        assert res.found[0] and res.values[0] == 40
+        assert not res.found[1]
+
+    def test_lookup_empty_array(self, device):
+        sa = GPUSortedArray(device=device)
+        res = sa.lookup(np.array([1], dtype=np.uint32))
+        assert not res.found[0]
+
+    def test_count_matches_brute_force(self, built):
+        k1 = np.array([15, 0, 1990], dtype=np.uint32)
+        k2 = np.array([55, 1999, 1999], dtype=np.uint32)
+        counts = built.count(k1, k2)
+        keys = built.keys
+        for i in range(3):
+            expected = int(np.count_nonzero((keys >= k1[i]) & (keys <= k2[i])))
+            assert counts[i] == expected
+
+    def test_range_matches_brute_force(self, built):
+        k1 = np.array([100, 500], dtype=np.uint32)
+        k2 = np.array([200, 505], dtype=np.uint32)
+        res = built.range_query(k1, k2)
+        for i in range(2):
+            keys, values = res.query_slice(i)
+            expected = [k for k in built.keys if k1[i] <= k <= k2[i]]
+            assert list(keys) == expected
+            assert list(values) == [k * 2 for k in expected]
+
+    def test_count_shape_mismatch_rejected(self, built):
+        with pytest.raises(ValueError):
+            built.count(np.array([1], dtype=np.uint32),
+                        np.array([1, 2], dtype=np.uint32))
+
+    def test_empty_query_sets(self, built):
+        assert built.count(np.zeros(0, dtype=np.uint32),
+                           np.zeros(0, dtype=np.uint32)).size == 0
+        res = built.range_query(np.zeros(0, dtype=np.uint32),
+                                np.zeros(0, dtype=np.uint32))
+        assert len(res) == 0
+
+    def test_memory_usage(self, built):
+        assert built.memory_usage_bytes == built.num_elements * 8
+
+
+class TestAgainstLSM:
+    def test_same_answers_as_lsm(self, device, rng):
+        """The SA and the LSM must answer identical workloads identically
+        (the paper's comparison is about speed, not semantics)."""
+        from repro.core.lsm import GPULSM
+
+        keys = rng.choice(100000, 256, replace=False).astype(np.uint32)
+        values = rng.integers(0, 1000, 256, dtype=np.uint32)
+        sa = GPUSortedArray(device=device)
+        sa.bulk_build(keys, values)
+        lsm = GPULSM(batch_size=32, device=device)
+        lsm.bulk_build(keys, values)
+
+        queries = np.concatenate([keys[:50],
+                                  rng.integers(100001, 200000, 50, dtype=np.uint32)])
+        r_sa = sa.lookup(queries)
+        r_lsm = lsm.lookup(queries)
+        assert np.array_equal(r_sa.found, r_lsm.found)
+        assert np.array_equal(r_sa.values[r_sa.found], r_lsm.values[r_lsm.found])
+
+        k1 = rng.integers(0, 90000, 20, dtype=np.uint32)
+        k2 = (k1 + 5000).astype(np.uint32)
+        assert np.array_equal(sa.count(k1, k2), lsm.count(k1, k2))
+        rr_sa = sa.range_query(k1, k2)
+        rr_lsm = lsm.range_query(k1, k2)
+        assert np.array_equal(rr_sa.offsets, rr_lsm.offsets)
+        assert np.array_equal(rr_sa.keys, rr_lsm.keys)
