@@ -39,6 +39,8 @@ SCALES = {
         "cleanup": dict(batch_size=1 << 10, num_batches=63),
         "cleanup_speedup": dict(batch_size=1 << 9, num_batches=127,
                                 stale_fraction=0.1, num_queries=1 << 14),
+        "sharded": dict(total_elements=1 << 15, batch_size=1 << 10,
+                        shard_counts=(1, 2, 4, 8)),
     },
     "paper": {
         "table1": dict(small_elements=1 << 12, large_elements=1 << 16, batch_size=1 << 9),
@@ -54,6 +56,8 @@ SCALES = {
         "cleanup": dict(batch_size=1 << 12, num_batches=63),
         "cleanup_speedup": dict(batch_size=1 << 11, num_batches=127,
                                 stale_fraction=0.1, num_queries=1 << 15),
+        "sharded": dict(total_elements=1 << 17, batch_size=1 << 12,
+                        shard_counts=(1, 2, 4, 8, 16)),
     },
 }
 

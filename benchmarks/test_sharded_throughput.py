@@ -1,0 +1,54 @@
+"""Benchmark E9 — sharded dictionary: effective update rate vs shard count.
+
+Beyond the paper: the keyspace-sharded front-end of :mod:`repro.scale`
+splits every update batch across independent per-shard LSMs on per-shard
+simulated devices.  Shapes asserted:
+
+* the aggregate effective update rate (real updates over the *parallel*
+  clock — routing plus the slowest shard) grows with the shard count;
+* the *serial* rate (total simulated work) shrinks as shards are added —
+  sharding buys wall-clock speed by doing strictly more total work
+  (routing, padding of per-shard partial batches);
+* shards stay balanced under the uniform workload: the slowest per-shard
+  rate is within 2x of the fastest.
+"""
+
+import os
+
+from repro.bench import report
+from repro.bench.sharded import sharded_update_throughput
+
+
+def test_sharded_effective_update_rate(benchmark, bench_scale, results_dir):
+    params = bench_scale["sharded"]
+
+    rows = benchmark.pedantic(
+        lambda: sharded_update_throughput(**params), rounds=1, iterations=1
+    )
+
+    by_shards = {r["num_shards"]: r for r in rows}
+    counts = sorted(by_shards)
+    assert counts[0] == 1
+
+    # Parallel effective rate improves monotonically with the shard count.
+    eff = [by_shards[n]["effective_rate"] for n in counts]
+    assert eff == sorted(eff)
+    assert eff[-1] > 1.5 * eff[0]
+
+    # The speedup is bought with extra total work: the serial rate of every
+    # multi-shard configuration is below the single-shard rate.
+    single = by_shards[1]["serial_rate"]
+    for n in counts[1:]:
+        assert by_shards[n]["serial_rate"] < single
+
+    # Uniform keys keep the shards balanced.
+    for n in counts[1:]:
+        row = by_shards[n]
+        assert row["max_shard_rate"] < 2.0 * row["min_shard_rate"]
+
+    report.write_csv(rows, os.path.join(results_dir, "sharded_update_rates.csv"))
+    print()
+    print(report.format_table(
+        rows,
+        title="Sharded LSM — effective update rate vs shard count",
+    ))

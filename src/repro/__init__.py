@@ -18,6 +18,10 @@ Package layout
 ``repro.baselines``
     The comparison data structures of the paper's evaluation: the GPU
     sorted array and the cuckoo hash table.
+``repro.scale``
+    The scale-out layer: the batch-dictionary protocol all structures
+    satisfy and :class:`repro.scale.sharded.ShardedLSM`, a keyspace-sharded
+    front-end over independent per-shard GPU LSMs.
 ``repro.bench``
     The experiment harness that regenerates every table and figure of the
     paper's Section V.
@@ -39,9 +43,16 @@ Quickstart
 from repro.core.lsm import GPULSM, LookupResult, RangeResult
 from repro.core.config import LSMConfig
 from repro.core.encoding import KeyEncoder, MAX_KEY
+from repro.core.run import SortedRun
 from repro.core.semantics import ReferenceDictionary
 from repro.baselines.sorted_array import GPUSortedArray
 from repro.baselines.cuckoo_hash import CuckooHashTable
+from repro.scale import (
+    DictionaryProtocol,
+    ShardedLSM,
+    UnsupportedOperationError,
+    supports,
+)
 from repro.gpu.device import Device, get_default_device, set_default_device
 from repro.gpu.spec import GPUSpec, K40C_SPEC
 
@@ -55,8 +66,13 @@ __all__ = [
     "KeyEncoder",
     "MAX_KEY",
     "ReferenceDictionary",
+    "SortedRun",
     "GPUSortedArray",
     "CuckooHashTable",
+    "ShardedLSM",
+    "DictionaryProtocol",
+    "UnsupportedOperationError",
+    "supports",
     "Device",
     "get_default_device",
     "set_default_device",

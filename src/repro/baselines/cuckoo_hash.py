@@ -29,8 +29,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.lsm import LookupResult
+from repro.core.lsm import LookupResult, RangeResult
 from repro.gpu.device import Device, get_default_device
+from repro.scale.protocol import UnsupportedOperationError
 
 #: Sentinel slot value meaning "empty" (keys are restricted to the 31-bit
 #: domain of the dictionary workloads, so the all-ones word is never a key).
@@ -268,6 +269,99 @@ class CuckooHashTable:
             launches=max(1, rounds),
         )
         return True
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates (protocol conformance)
+    # ------------------------------------------------------------------ #
+    def _live_items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All resident ``(keys, values)`` — main table plus stash."""
+        mask = self.table_keys != EMPTY_SLOT
+        keys = np.concatenate([self.table_keys[mask], self.stash_keys])
+        values = np.concatenate([self.table_values[mask], self.stash_values])
+        return keys, values
+
+    def _reset_empty(self) -> None:
+        self.table_keys = np.zeros(0, dtype=np.uint64)
+        self.table_values = np.zeros(0, dtype=np.uint64)
+        self.stash_keys = np.zeros(0, dtype=np.uint64)
+        self.stash_values = np.zeros(0, dtype=np.uint64)
+        self.num_elements = 0
+
+    def insert(self, keys: np.ndarray, values: Optional[np.ndarray] = None) -> None:
+        """Insert a batch by rebuilding the whole table.
+
+        The CUDPP cuckoo table has no in-place update path ("it is not
+        possible to increase table sizes at runtime", Section V-A), so the
+        incremental operations of the dictionary protocol are realised the
+        only way the structure allows: extract the live elements, union
+        them with the batch (new values win on duplicate keys) and bulk
+        build from scratch — the O(n)-per-batch cost profile the paper's
+        Table I comparison is about.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if values is None:
+            raise ValueError("the cuckoo hash table stores key-value pairs")
+        values = np.asarray(values, dtype=np.uint64)
+        if keys.ndim != 1 or values.shape != keys.shape:
+            raise ValueError("keys and values must be one-dimensional and equal length")
+        if keys.size == 0:
+            raise ValueError("insert requires a non-empty batch")
+        # Canonicalise the batch to one operation per key (the first
+        # occurrence wins, matching the LSM's batch tie-break) so rebuilds
+        # never accumulate duplicate resident keys.
+        _, first_idx = np.unique(keys, return_index=True)
+        first_idx.sort()
+        keys = keys[first_idx]
+        values = values[first_idx]
+        old_keys, old_values = self._live_items()
+        keep = ~np.isin(old_keys, keys)
+        self.device.record_kernel(
+            "cuckoo.insert.filter",
+            coalesced_read_bytes=int(old_keys.nbytes + keys.nbytes),
+            coalesced_write_bytes=int(keep.sum()) * 16,
+            work_items=int(old_keys.size),
+        )
+        # bulk_build is failure-atomic (it only commits a successful
+        # attempt), so the old table survives a failed rebuild intact.
+        self.bulk_build(
+            np.concatenate([keys, old_keys[keep]]),
+            np.concatenate([values, old_values[keep]]),
+        )
+
+    def delete(self, keys: np.ndarray) -> None:
+        """Delete a batch by rebuilding the table without those keys."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if keys.size == 0:
+            raise ValueError("delete requires a non-empty batch")
+        old_keys, old_values = self._live_items()
+        keep = ~np.isin(old_keys, keys)
+        self.device.record_kernel(
+            "cuckoo.delete.filter",
+            coalesced_read_bytes=int(old_keys.nbytes + keys.nbytes),
+            coalesced_write_bytes=int(keep.sum()) * 16,
+            work_items=int(old_keys.size),
+        )
+        if np.any(keep):
+            self.bulk_build(old_keys[keep], old_values[keep])
+        else:
+            self._reset_empty()
+
+    # ------------------------------------------------------------------ #
+    # Ordered queries (unsupported — the dashes of Table I)
+    # ------------------------------------------------------------------ #
+    def count(self, k1: np.ndarray, k2: np.ndarray) -> np.ndarray:
+        """Unsupported: a hash table keeps no key order (Table I)."""
+        raise UnsupportedOperationError(
+            "the cuckoo hash table does not support COUNT queries"
+        )
+
+    def range_query(self, k1: np.ndarray, k2: np.ndarray) -> RangeResult:
+        """Unsupported: a hash table keeps no key order (Table I)."""
+        raise UnsupportedOperationError(
+            "the cuckoo hash table does not support RANGE queries"
+        )
 
     # ------------------------------------------------------------------ #
     # Lookup

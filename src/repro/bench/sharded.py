@@ -1,0 +1,79 @@
+"""Sharded-throughput experiment: effective update rate vs shard count.
+
+The sharded dictionary splits every front-end batch across ``num_shards``
+independent per-shard LSMs (each on its own simulated device), so the
+insertion cascade of each shard runs over runs that are ``num_shards``
+times smaller.  With all shards running concurrently the wall-clock cost of
+a batch is the routing multisplit plus the *slowest* shard — which is how
+real multi-GPU deployments are measured — while the serial cost (sum over
+devices) exposes the routing overhead the sharding adds.
+
+The workload inserts a fixed dataset batch by batch for each shard count
+and reports, per configuration: the aggregate effective update rate against
+the parallel clock, the same rate against the serial clock, and the
+min/max per-shard rates (shard balance).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.runner import PAPER_INSERTION_ELEMENTS, scaled_spec
+from repro.bench.workloads import Workload, WorkloadConfig, make_workload
+from repro.gpu.spec import GPUSpec
+from repro.scale.sharded import ShardedLSM
+
+
+def sharded_update_throughput(
+    total_elements: int,
+    batch_size: int,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    spec: Optional[GPUSpec] = None,
+    seed: int = 0xC0FFEE,
+) -> List[dict]:
+    """Insert one dataset through ShardedLSMs of varying shard counts.
+
+    Returns one row per shard count with aggregate and per-shard rates
+    (all rates in M updates/s of *real* — non-padding — operations).
+    """
+    if spec is None:
+        spec = scaled_spec(total_elements, PAPER_INSERTION_ELEMENTS)
+    workload: Workload = make_workload(
+        WorkloadConfig(num_elements=total_elements, seed=seed)
+    )
+
+    rows: List[dict] = []
+    for num_shards in shard_counts:
+        sharded = ShardedLSM(
+            num_shards=num_shards, batch_size=batch_size, spec=spec
+        )
+        real_updates = 0
+        for keys, values in workload.batches(batch_size):
+            sharded.insert(keys, values)
+            real_updates += int(keys.size)
+
+        profile = sharded.profile()
+        stats = sharded.shard_stats()
+        shard_rates = [
+            s["total_insertions"] / s["simulated_seconds"] / 1e6
+            for s in stats
+            if s["simulated_seconds"] > 0
+        ]
+        rows.append(
+            {
+                "num_shards": num_shards,
+                "shard_batch_size": sharded.shard_batch_size,
+                "total_updates": real_updates,
+                "resident_elements": sharded.num_elements,
+                "router_seconds": profile["router_seconds"],
+                "parallel_seconds": profile["parallel_seconds"],
+                "serial_seconds": profile["serial_seconds"],
+                "effective_rate": real_updates / profile["parallel_seconds"] / 1e6,
+                "serial_rate": real_updates / profile["serial_seconds"] / 1e6,
+                "min_shard_rate": min(shard_rates) if shard_rates else float("nan"),
+                "max_shard_rate": max(shard_rates) if shard_rates else float("nan"),
+            }
+        )
+    return rows

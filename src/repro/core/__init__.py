@@ -20,6 +20,7 @@ from repro.core.config import LSMConfig
 from repro.core.encoding import KeyEncoder, MAX_KEY, STATUS_REGULAR, STATUS_TOMBSTONE
 from repro.core.batch import UpdateBatch
 from repro.core.level import Level
+from repro.core.run import SortedRun
 from repro.core.lsm import GPULSM, LookupResult, RangeResult
 from repro.core.semantics import ReferenceDictionary
 from repro.core.invariants import check_level_invariants, check_lsm_invariants
@@ -31,6 +32,7 @@ __all__ = [
     "LSMConfig",
     "UpdateBatch",
     "Level",
+    "SortedRun",
     "KeyEncoder",
     "MAX_KEY",
     "STATUS_REGULAR",

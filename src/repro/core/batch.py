@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.config import LSMConfig
 from repro.core.encoding import KeyEncoder, STATUS_REGULAR, STATUS_TOMBSTONE
+from repro.core.run import SortedRun
 
 
 @dataclass
@@ -60,6 +61,14 @@ class UpdateBatch:
     def utilisation(self) -> float:
         """``b' / b`` — fraction of the batch carrying real work."""
         return self.real_count / self.size if self.size else 0.0
+
+    def as_run(self) -> SortedRun:
+        """The batch's columns as one (not-yet-sorted) :class:`SortedRun`.
+
+        The insertion cascade sorts this run over the full encoded word and
+        merges it down the occupied levels.
+        """
+        return SortedRun(keys=self.encoded_keys, values=self.values)
 
 
 def build_update_batch(

@@ -1,4 +1,4 @@
-"""A single LSM level: a sorted array of encoded keys (and values).
+"""A single LSM level: one resident :class:`~repro.core.run.SortedRun`.
 
 Section III-B: "the size of level *i* in the GPU LSM is ``b * 2**i``, and at
 any time the whole data structure contains a multiple of ``b`` elements.
@@ -7,15 +7,19 @@ Each level is completely full or completely empty."
 A :class:`Level` is a plain container — the algorithms live in
 :class:`repro.core.lsm.GPULSM` — but it owns its occupancy state and basic
 sanity checks so that misuse (filling an occupied level, reading an empty
-one) fails loudly.
+one) fails loudly.  The resident data is a single immutable
+:class:`SortedRun`; the ``keys`` / ``values`` properties expose its columns
+for the query pipelines (and for callers that predate the run abstraction).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Union
 
 import numpy as np
+
+from repro.core.run import SortedRun
 
 
 class LevelStateError(RuntimeError):
@@ -32,16 +36,15 @@ class Level:
         Level index *i*; the capacity is ``batch_size * 2**i``.
     capacity:
         Number of elements the level holds when full.
-    keys / values:
-        Encoded key array and value array, both of length ``capacity`` when
-        the level is full, ``None`` when empty.  ``values`` stays ``None``
-        in key-only dictionaries.
+    run:
+        The resident sorted run of exactly ``capacity`` elements, or
+        ``None`` when the level is empty.  The run's value column stays
+        ``None`` in key-only dictionaries.
     """
 
     index: int
     capacity: int
-    keys: Optional[np.ndarray] = None
-    values: Optional[np.ndarray] = None
+    run: Optional[SortedRun] = None
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -55,52 +58,66 @@ class Level:
     @property
     def is_full(self) -> bool:
         """True when the level currently holds a sorted run."""
-        return self.keys is not None
+        return self.run is not None
 
     @property
     def is_empty(self) -> bool:
-        return self.keys is None
+        return self.run is None
 
     @property
     def size(self) -> int:
         """Number of resident elements (0 or ``capacity``)."""
-        return 0 if self.keys is None else int(self.keys.size)
+        return 0 if self.run is None else self.run.size
+
+    @property
+    def keys(self) -> Optional[np.ndarray]:
+        """Encoded key column of the resident run (``None`` when empty)."""
+        return None if self.run is None else self.run.keys
+
+    @property
+    def values(self) -> Optional[np.ndarray]:
+        """Value column of the resident run (``None`` when empty or key-only)."""
+        return None if self.run is None else self.run.values
 
     @property
     def nbytes(self) -> int:
         """Bytes of device memory the level currently occupies."""
-        total = 0
-        if self.keys is not None:
-            total += int(self.keys.nbytes)
-        if self.values is not None:
-            total += int(self.values.nbytes)
-        return total
+        return 0 if self.run is None else self.run.nbytes
 
     # ------------------------------------------------------------------ #
     # State transitions
     # ------------------------------------------------------------------ #
-    def fill(self, keys: np.ndarray, values: Optional[np.ndarray]) -> None:
+    def fill(
+        self,
+        run: Union[SortedRun, np.ndarray],
+        values: Optional[np.ndarray] = None,
+    ) -> None:
         """Populate an empty level with a sorted run of exactly ``capacity``
-        elements."""
+        elements.
+
+        Accepts either a :class:`SortedRun` or, for convenience and
+        backwards compatibility, raw ``(keys, values)`` columns which are
+        wrapped into one.
+        """
         if self.is_full:
             raise LevelStateError(f"level {self.index} is already full")
-        keys = np.asarray(keys)
-        if keys.size != self.capacity:
+        if not isinstance(run, SortedRun):
+            try:
+                run = SortedRun(keys=np.asarray(run), values=values)
+            except ValueError as exc:
+                raise LevelStateError(str(exc)) from exc
+        elif values is not None:
+            raise LevelStateError("values must be None when filling from a SortedRun")
+        if run.size != self.capacity:
             raise LevelStateError(
                 f"level {self.index} expects exactly {self.capacity} elements, "
-                f"got {keys.size}"
+                f"got {run.size}"
             )
-        if values is not None:
-            values = np.asarray(values)
-            if values.size != keys.size:
-                raise LevelStateError("values must match keys in length")
-        self.keys = keys
-        self.values = values
+        self.run = run
 
     def clear(self) -> None:
         """Empty the level (after its contents were merged downwards)."""
-        self.keys = None
-        self.values = None
+        self.run = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "full" if self.is_full else "empty"

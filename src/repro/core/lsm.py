@@ -11,13 +11,13 @@ structure; stale elements (replaced duplicates and deleted keys) remain
 physically present but are invisible to queries until :meth:`GPULSM.cleanup`
 removes them.
 
-Every operation is expressed in terms of the bulk primitives of
-:mod:`repro.primitives` — radix sort, stable merge with a status-bit-blind
-comparator, lower/upper bound searches, scan, segmented sort, compaction and
-multisplit — exactly the decomposition of the original CUDA implementation,
-and each operation is wrapped in a profiler region so the benchmark harness
-can convert the recorded memory traffic into the simulated throughput
-numbers reported in EXPERIMENTS.md.
+Every operation is expressed once over :class:`~repro.core.run.SortedRun` —
+the (encoded-keys, optional-values) column set all bulk primitives operate
+on — so the key-only and key-value configurations share a single data path;
+whether a value column exists is a property of the runs, not a branch in the
+algorithms.  Each operation is wrapped in a profiler region so the benchmark
+harness can convert the recorded memory traffic into the simulated
+throughput numbers reported in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -31,14 +31,10 @@ from repro.core.batch import UpdateBatch, build_update_batch
 from repro.core.config import LSMConfig
 from repro.core.encoding import KeyEncoder, STATUS_REGULAR, STATUS_TOMBSTONE
 from repro.core.level import Level
+from repro.core.run import SortedRun
 from repro.gpu.device import Device, get_default_device
-from repro.primitives.merge import merge_keys, merge_pairs
-from repro.primitives.radix_sort import RadixSortConfig, radix_sort_keys, radix_sort_pairs
 from repro.primitives.scan import exclusive_scan
 from repro.primitives.search import lower_bound, upper_bound
-from repro.primitives.segmented_sort import segmented_sort_keys, segmented_sort_pairs
-from repro.primitives.compact import segmented_compact
-from repro.primitives.multisplit import multisplit_pairs, multisplit_keys
 
 
 @dataclass
@@ -108,10 +104,10 @@ class GPULSM:
     >>> from repro import GPULSM
     >>> lsm = GPULSM(batch_size=4, key_only=True)
     >>> lsm.insert(np.array([5, 1, 9, 3]))
-    >>> bool(lsm.lookup(np.array([9]))[0])
+    >>> bool(lsm.lookup(np.array([9])).found[0])
     True
     >>> lsm.delete(np.array([9, 9, 9, 9]))
-    >>> bool(lsm.lookup(np.array([9]))[0])
+    >>> bool(lsm.lookup(np.array([9])).found[0])
     False
     """
 
@@ -134,6 +130,14 @@ class GPULSM:
         self.total_insertions = 0
         self.total_deletions = 0
         self.total_cleanups = 0
+        #: Upper bound on the number of *live* resident elements, maintained
+        #: incrementally: each update batch can add at most its number of
+        #: distinct regular keys to the live population, and cleanup resets
+        #: the bound to the exact survivor count.  This is what keeps
+        #: :meth:`stale_fraction_estimate` meaningful under duplicate-key
+        #: re-insertion, where the raw insertion counter alone would claim
+        #: everything is live.
+        self._live_keys_upper_bound = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -241,13 +245,8 @@ class GPULSM:
             # Sort the new batch over the *full* encoded word — status bit
             # included — so tombstones precede regular elements of the same
             # key within the batch (Fig. 3 line 9).
-            if self.key_only:
-                buf_keys = radix_sort_keys(batch.encoded_keys, device=self.device)
-                buf_values: Optional[np.ndarray] = None
-            else:
-                buf_keys, buf_values = radix_sort_pairs(
-                    batch.encoded_keys, batch.values, device=self.device
-                )
+            buf = batch.as_run().sort(device=self.device)
+            self._live_keys_upper_bound += self._distinct_regular_keys(buf.keys)
 
             # Merge cascade: while level i is full, merge (buffer, level i)
             # with a comparator that ignores the status bit, keeping the
@@ -255,30 +254,18 @@ class GPULSM:
             i = 0
             while self._level(i).is_full:
                 level = self.levels[i]
-                if self.key_only:
-                    buf_keys = merge_keys(
-                        buf_keys,
-                        level.keys,
-                        key=self.encoder.strip_status,
-                        device=self.device,
-                        kernel_name="lsm.merge_level",
-                    )
-                else:
-                    buf_keys, buf_values = merge_pairs(
-                        buf_keys,
-                        buf_values,
-                        level.keys,
-                        level.values,
-                        key=self.encoder.strip_status,
-                        device=self.device,
-                        kernel_name="lsm.merge_level",
-                    )
+                buf = buf.merge(
+                    level.run,
+                    key=self.encoder.strip_status,
+                    device=self.device,
+                    kernel_name="lsm.merge_level",
+                )
                 level.clear()
                 i += 1
 
             # Copy the buffer into the first empty level (Fig. 3 line 20).
             target = self._level(i)
-            target.fill(buf_keys, buf_values)
+            target.fill(buf)
             self.device.record_kernel(
                 "lsm.store_level",
                 coalesced_read_bytes=0,
@@ -314,6 +301,11 @@ class GPULSM:
         keys = np.asarray(keys)
         if keys.ndim != 1 or keys.size == 0:
             raise ValueError("bulk_build requires a non-empty 1-D key array")
+        if int(keys.min()) < 0 or int(keys.max()) > self.encoder.max_key:
+            raise ValueError(
+                f"bulk_build keys exceed the {self.encoder.key_bits - 1}-bit "
+                "original-key domain"
+            )
         if not self.key_only:
             if values is None:
                 raise ValueError("values are required unless key_only=True")
@@ -328,35 +320,24 @@ class GPULSM:
         encoded = np.empty(padded_n, dtype=self.config.key_dtype)
         encoded[: keys.size] = self.encoder.encode(keys, STATUS_REGULAR)
         encoded[keys.size :] = encoded[keys.size - 1]
-        if self.key_only:
-            padded_values = None
-        else:
+        padded_values = None
+        if values is not None:
             padded_values = np.empty(padded_n, dtype=self.config.value_dtype)
             padded_values[: keys.size] = values
             padded_values[keys.size :] = padded_values[keys.size - 1]
 
         with self.device.timed_region("lsm.bulk_build", items=padded_n):
-            if self.key_only:
-                sorted_keys = radix_sort_keys(encoded, device=self.device)
-                sorted_values = None
-            else:
-                sorted_keys, sorted_values = radix_sort_pairs(
-                    encoded, padded_values, device=self.device
-                )
-            self._distribute_sorted(sorted_keys, sorted_values, num_batches)
+            run = SortedRun(encoded, padded_values).sort(device=self.device)
+            self._distribute_sorted(run, num_batches)
             self.total_insertions += keys.size
+            self._live_keys_upper_bound += self._distinct_regular_keys(run.keys)
 
         if self.config.validate_invariants:
             from repro.core.invariants import check_lsm_invariants
 
             check_lsm_invariants(self)
 
-    def _distribute_sorted(
-        self,
-        sorted_keys: np.ndarray,
-        sorted_values: Optional[np.ndarray],
-        num_batches: int,
-    ) -> None:
+    def _distribute_sorted(self, run: SortedRun, num_batches: int) -> None:
         """Slice one big sorted run into the levels for ``num_batches``.
 
         Slices are assigned in ascending key order to the occupied levels
@@ -371,24 +352,16 @@ class GPULSM:
             if not (num_batches >> i) & 1:
                 continue
             size = self.config.level_capacity(i)
-            level = self._level(i)
-            level.fill(
-                sorted_keys[offset : offset + size].copy(),
-                None
-                if sorted_values is None
-                else sorted_values[offset : offset + size].copy(),
-            )
+            self._level(i).fill(run.slice(offset, offset + size))
             offset += size
-        if offset != sorted_keys.size:
+        if offset != run.size:
             raise AssertionError("level distribution did not consume the input")
         self.num_batches = num_batches
         self.device.record_kernel(
             "lsm.distribute_levels",
-            coalesced_read_bytes=sorted_keys.nbytes
-            + (sorted_values.nbytes if sorted_values is not None else 0),
-            coalesced_write_bytes=sorted_keys.nbytes
-            + (sorted_values.nbytes if sorted_values is not None else 0),
-            work_items=sorted_keys.size,
+            coalesced_read_bytes=run.nbytes,
+            coalesced_write_bytes=run.nbytes,
+            work_items=run.size,
         )
 
     # ------------------------------------------------------------------ #
@@ -457,17 +430,16 @@ class GPULSM:
         if nq == 0:
             return np.zeros(0, dtype=np.int64)
         with self.device.timed_region("lsm.count", items=nq):
-            cand_keys, _, query_offsets = self._gather_candidates(
+            candidates, query_offsets = self._gather_candidates(
                 k1, k2, with_values=False
             )
-            sorted_keys = segmented_sort_keys(
-                cand_keys,
+            sorted_run = candidates.segmented_sort(
                 query_offsets[:-1],
                 key=self.encoder.strip_status,
                 device=self.device,
                 kernel_name="lsm.count.segmented_sort",
             )
-            valid = self._validate_candidates(sorted_keys, query_offsets)
+            valid = self._validate_candidates(sorted_run.keys, query_offsets)
             counts = self._per_query_counts(valid, query_offsets)
         return counts
 
@@ -488,51 +460,27 @@ class GPULSM:
                 values=empty_vals,
             )
         with self.device.timed_region("lsm.range", items=nq):
-            cand_keys, cand_values, query_offsets = self._gather_candidates(
+            candidates, query_offsets = self._gather_candidates(
                 k1, k2, with_values=not self.key_only
             )
-            if self.key_only:
-                sorted_keys = segmented_sort_keys(
-                    cand_keys,
-                    query_offsets[:-1],
-                    key=self.encoder.strip_status,
-                    device=self.device,
-                    kernel_name="lsm.range.segmented_sort",
-                )
-                sorted_values = None
-            else:
-                sorted_keys, sorted_values = segmented_sort_pairs(
-                    cand_keys,
-                    cand_values,
-                    query_offsets[:-1],
-                    key=self.encoder.strip_status,
-                    device=self.device,
-                    kernel_name="lsm.range.segmented_sort",
-                )
-            valid = self._validate_candidates(sorted_keys, query_offsets)
-
-            out_keys, new_offsets = segmented_compact(
-                sorted_keys,
+            sorted_run = candidates.segmented_sort(
+                query_offsets[:-1],
+                key=self.encoder.strip_status,
+                device=self.device,
+                kernel_name="lsm.range.segmented_sort",
+            )
+            valid = self._validate_candidates(sorted_run.keys, query_offsets)
+            out_run, new_offsets = sorted_run.segmented_compact(
                 valid,
                 query_offsets[:-1],
                 device=self.device,
                 kernel_name="lsm.range.compact",
             )
-            if sorted_values is not None:
-                out_values = sorted_values[valid]
-                self.device.record_kernel(
-                    "lsm.range.compact_values",
-                    coalesced_read_bytes=sorted_values.nbytes + valid.size,
-                    coalesced_write_bytes=out_values.nbytes,
-                    work_items=sorted_values.size,
-                )
-            else:
-                out_values = None
 
         return RangeResult(
             offsets=new_offsets,
-            keys=self.encoder.decode_key(out_keys).astype(np.uint64),
-            values=out_values,
+            keys=self.encoder.decode_key(out_run.keys).astype(np.uint64),
+            values=out_run.values,
         )
 
     def _check_range_args(
@@ -551,14 +499,14 @@ class GPULSM:
 
     def _gather_candidates(
         self, k1: np.ndarray, k2: np.ndarray, with_values: bool
-    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    ) -> Tuple[SortedRun, np.ndarray]:
         """Stages 1–3 of COUNT/RANGE (Fig. 2c lines 4–14).
 
-        Returns the concatenated candidate words (and values) plus
-        per-query offsets of length ``num_queries + 1``.  Candidates of one
-        query are contiguous, ordered from the most recent level to the
-        oldest, each level's contribution key-sorted — the order the
-        segmented sort needs to preserve recency among equal keys.
+        Returns the concatenated candidate run plus per-query offsets of
+        length ``num_queries + 1``.  Candidates of one query are contiguous,
+        ordered from the most recent level to the oldest, each level's
+        contribution key-sorted — the order the segmented sort needs to
+        preserve recency among equal keys.
         """
         levels = self.occupied_levels()
         nq = k1.size
@@ -569,7 +517,7 @@ class GPULSM:
             empty_vals = (
                 np.zeros(0, dtype=self.config.value_dtype) if with_values else None
             )
-            return np.zeros(0, dtype=self.config.key_dtype), empty_vals, offsets
+            return SortedRun(np.zeros(0, dtype=self.config.key_dtype), empty_vals), offsets
 
         # Stage 1: per-(query, level) lower/upper bounds and count estimates.
         lows = np.empty((nq, num_levels), dtype=np.int64)
@@ -640,7 +588,7 @@ class GPULSM:
             work_items=int(total),
             launches=num_levels,
         )
-        return cand_keys, cand_values, query_offsets
+        return SortedRun(cand_keys, cand_values), query_offsets
 
     def _validate_candidates(
         self, sorted_words: np.ndarray, query_offsets: np.ndarray
@@ -722,94 +670,54 @@ class GPULSM:
         with self.device.timed_region("lsm.cleanup", items=before):
             # Step 1: merge every occupied level, newest first so equal keys
             # stay ordered most-recent-first.
-            merged_keys = levels[0].keys
-            merged_values = levels[0].values
+            merged = levels[0].run
             for level in levels[1:]:
-                if self.key_only:
-                    merged_keys = merge_keys(
-                        merged_keys,
-                        level.keys,
-                        key=self.encoder.strip_status,
-                        device=self.device,
-                        kernel_name="lsm.cleanup.merge",
-                    )
-                else:
-                    merged_keys, merged_values = merge_pairs(
-                        merged_keys,
-                        merged_values,
-                        level.keys,
-                        level.values,
-                        key=self.encoder.strip_status,
-                        device=self.device,
-                        kernel_name="lsm.cleanup.merge",
-                    )
+                merged = merged.merge(
+                    level.run,
+                    key=self.encoder.strip_status,
+                    device=self.device,
+                    kernel_name="lsm.cleanup.merge",
+                )
 
             # Step 2: mark valid elements — the first (most recent) copy of
             # each original key, provided it is not a tombstone.
-            orig = self.encoder.decode_key(merged_keys)
-            first = np.ones(orig.size, dtype=bool)
-            first[1:] = orig[1:] != orig[:-1]
-            valid_mask = first & self.encoder.is_regular(merged_keys)
+            first = merged.first_per_key(self.encoder.strip_status)
+            valid_mask = first & self.encoder.is_regular(merged.keys)
             self.device.record_kernel(
                 "lsm.cleanup.mark",
-                coalesced_read_bytes=merged_keys.nbytes,
-                coalesced_write_bytes=merged_keys.size,
-                work_items=int(merged_keys.size),
+                coalesced_read_bytes=merged.keys.nbytes,
+                coalesced_write_bytes=merged.size,
+                work_items=merged.size,
             )
 
             # Step 3: two-bucket multisplit — bucket 0 holds the valid
             # elements, bucket 1 the stale ones (discarded).
             bucket_of = lambda words: (~valid_mask).astype(np.int64)  # noqa: E731
-            if self.key_only:
-                reordered, offsets = multisplit_keys(
-                    merged_keys,
-                    bucket_of,
-                    num_buckets=2,
-                    device=self.device,
-                    kernel_name="lsm.cleanup.multisplit",
-                )
-                valid_keys = reordered[: offsets[1]]
-                valid_values = None
-            else:
-                reordered_k, reordered_v, offsets = multisplit_pairs(
-                    merged_keys,
-                    merged_values,
-                    bucket_of,
-                    num_buckets=2,
-                    device=self.device,
-                    kernel_name="lsm.cleanup.multisplit",
-                )
-                valid_keys = reordered_k[: offsets[1]]
-                valid_values = reordered_v[: offsets[1]]
-
-            num_valid = int(valid_keys.size)
+            reordered, bucket_offsets = merged.multisplit(
+                bucket_of,
+                num_buckets=2,
+                device=self.device,
+                kernel_name="lsm.cleanup.multisplit",
+            )
+            valid_run = reordered.slice(0, int(bucket_offsets[1]))
+            num_valid = valid_run.size
 
             # Step 4: pad with placebo elements (tombstones of maximal key)
             # so the total stays a multiple of b.  An entirely-stale LSM
             # becomes empty rather than a structure of pure padding.
             if num_valid == 0:
                 new_batches = 0
-                final_keys = valid_keys
-                final_values = valid_values
+                final_run = valid_run
                 padding = 0
             else:
                 new_batches = -(-num_valid // self.batch_size)
                 padded_n = new_batches * self.batch_size
                 padding = padded_n - num_valid
-                final_keys = np.empty(padded_n, dtype=self.config.key_dtype)
-                final_keys[:num_valid] = valid_keys
-                final_keys[num_valid:] = self.config.key_dtype.type(
-                    self.encoder.placebo_word
-                )
-                if valid_values is not None:
-                    final_values = np.zeros(padded_n, dtype=self.config.value_dtype)
-                    final_values[:num_valid] = valid_values
-                else:
-                    final_values = None
-                self.device.record_kernel(
-                    "lsm.cleanup.pad",
-                    coalesced_write_bytes=padding * self.config.key_dtype.itemsize,
-                    work_items=padding,
+                final_run = valid_run.pad(
+                    padded_n,
+                    fill_word=self.encoder.placebo_word,
+                    device=self.device,
+                    kernel_name="lsm.cleanup.pad",
                 )
 
             # Step 5: redistribute into fresh levels.
@@ -817,8 +725,11 @@ class GPULSM:
                 lvl.clear()
             self.num_batches = 0
             if new_batches:
-                self._distribute_sorted(final_keys, final_values, new_batches)
+                self._distribute_sorted(final_run, new_batches)
             self.total_cleanups += 1
+            # After cleanup every resident non-placebo element is live, so
+            # the live-population bound becomes exact.
+            self._live_keys_upper_bound = num_valid
 
         if self.config.validate_invariants:
             from repro.core.invariants import check_lsm_invariants
@@ -835,12 +746,38 @@ class GPULSM:
     # ------------------------------------------------------------------ #
     # Convenience
     # ------------------------------------------------------------------ #
+    def _distinct_regular_keys(self, sorted_words: np.ndarray) -> int:
+        """Number of distinct original keys with a regular (non-tombstone)
+        element in one key-sorted run.
+
+        Pure host-side bookkeeping for the stale-fraction estimate — on the
+        real device this count falls out of the sort epilogue for free
+        (adjacent-difference plus a reduction over data already in cache),
+        so no kernel traffic is recorded.
+        """
+        regular_words = sorted_words[self.encoder.is_regular(sorted_words)]
+        return int(
+            np.count_nonzero(
+                SortedRun(regular_words).first_per_key(self.encoder.strip_status)
+            )
+        )
+
     def stale_fraction_estimate(self) -> float:
         """Crude upper bound on the fraction of stale resident elements,
         derived from the lifetime update counters; used by cleanup policies
-        in the examples."""
+        in the examples.
+
+        The live population is bounded both by the insertion/deletion flow
+        (``total_insertions - total_deletions``) and by the accumulated
+        number of *distinct* inserted keys, so repeatedly re-inserting the
+        same key — which inflates ``total_insertions`` without growing the
+        live population — no longer drives the estimate to zero.
+        """
         if self.num_elements == 0:
             return 0.0
-        live_upper_bound = max(0, self.total_insertions - self.total_deletions)
-        stale = max(0, self.num_elements - live_upper_bound)
+        flow_bound = max(0, self.total_insertions - self.total_deletions)
+        live_upper_bound = min(
+            flow_bound, self._live_keys_upper_bound, self.num_elements
+        )
+        stale = self.num_elements - live_upper_bound
         return min(1.0, stale / self.num_elements)

@@ -32,6 +32,13 @@ from repro.primitives.segmented_sort import segmented_sort_keys, segmented_sort_
 from repro.primitives.compact import compact, select_if, partition_two_way
 from repro.primitives.multisplit import multisplit_keys, multisplit_pairs
 from repro.primitives.histogram import digit_histogram, block_histograms
+from repro.primitives.columns import (
+    merge_columns,
+    multisplit_columns,
+    segmented_compact_columns,
+    segmented_sort_columns,
+    sort_columns,
+)
 
 __all__ = [
     "radix_sort_keys",
@@ -57,4 +64,9 @@ __all__ = [
     "multisplit_pairs",
     "digit_histogram",
     "block_histograms",
+    "sort_columns",
+    "merge_columns",
+    "multisplit_columns",
+    "segmented_sort_columns",
+    "segmented_compact_columns",
 ]

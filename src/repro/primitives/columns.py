@@ -1,0 +1,159 @@
+"""Column-set wrappers over the keys/pairs primitive variants.
+
+Every bulk primitive in this package comes in a key-only flavour and a
+key-value flavour (mirroring CUB's ``SortKeys`` / ``SortPairs`` split).  The
+data-structure layer, however, wants to express each operation *once* over a
+column set — an encoded-key column plus an optional aligned value column —
+and let the presence of the value column decide which kernel variant runs.
+
+These thin wrappers are that single dispatch point: each takes
+``(keys, values-or-None)`` and forwards to exactly one underlying primitive
+call.  :class:`repro.core.run.SortedRun` is built on top of them; nothing
+else in the repository should branch on "do I have values?" around a
+primitive kernel call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.device import Device, get_default_device
+from repro.primitives.compact import segmented_compact
+from repro.primitives.merge import KeyFunc, merge_keys, merge_pairs
+from repro.primitives.multisplit import multisplit_keys, multisplit_pairs
+from repro.primitives.radix_sort import (
+    RadixSortConfig,
+    radix_sort_keys,
+    radix_sort_pairs,
+)
+from repro.primitives.segmented_sort import segmented_sort_keys, segmented_sort_pairs
+
+#: A column set: an encoded-key column plus an optional aligned value column.
+Columns = Tuple[np.ndarray, Optional[np.ndarray]]
+
+
+def sort_columns(
+    keys: np.ndarray,
+    values: Optional[np.ndarray],
+    config: RadixSortConfig = RadixSortConfig(),
+    device: Optional[Device] = None,
+) -> Columns:
+    """Radix sort a column set (CUB ``SortKeys`` / ``SortPairs``)."""
+    if values is None:
+        return radix_sort_keys(keys, config=config, device=device), None
+    return radix_sort_pairs(keys, values, config=config, device=device)
+
+
+def merge_columns(
+    a: Columns,
+    b: Columns,
+    key: KeyFunc = None,
+    device: Optional[Device] = None,
+    kernel_name: str = "merge.columns",
+) -> Columns:
+    """Stable merge of two sorted column sets, ties won by the A side.
+
+    Both sides must agree on whether a value column is present.
+    """
+    a_keys, a_values = a
+    b_keys, b_values = b
+    if (a_values is None) != (b_values is None):
+        raise ValueError("cannot merge a key-only run with a key-value run")
+    if a_values is None:
+        merged = merge_keys(
+            a_keys, b_keys, key=key, device=device, kernel_name=kernel_name
+        )
+        return merged, None
+    return merge_pairs(
+        a_keys,
+        a_values,
+        b_keys,
+        b_values,
+        key=key,
+        device=device,
+        kernel_name=kernel_name,
+    )
+
+
+def multisplit_columns(
+    keys: np.ndarray,
+    values: Optional[np.ndarray],
+    bucket_of: Callable[[np.ndarray], np.ndarray],
+    num_buckets: int = 2,
+    device: Optional[Device] = None,
+    kernel_name: str = "multisplit.columns",
+) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """Stable bucket partition of a column set.
+
+    Returns ``(reordered_keys, reordered_values_or_None, bucket_offsets)``
+    with the offset convention of :func:`repro.primitives.multisplit`.
+    """
+    if values is None:
+        reordered, offsets = multisplit_keys(
+            keys,
+            bucket_of,
+            num_buckets=num_buckets,
+            device=device,
+            kernel_name=kernel_name,
+        )
+        return reordered, None, offsets
+    return multisplit_pairs(
+        keys,
+        values,
+        bucket_of,
+        num_buckets=num_buckets,
+        device=device,
+        kernel_name=kernel_name,
+    )
+
+
+def segmented_sort_columns(
+    keys: np.ndarray,
+    values: Optional[np.ndarray],
+    segment_offsets: np.ndarray,
+    key: KeyFunc = None,
+    device: Optional[Device] = None,
+    kernel_name: str = "segmented_sort.columns",
+) -> Columns:
+    """Segmented stable sort of a column set (moderngpu ``segsort``)."""
+    if values is None:
+        sorted_keys = segmented_sort_keys(
+            keys, segment_offsets, key=key, device=device, kernel_name=kernel_name
+        )
+        return sorted_keys, None
+    return segmented_sort_pairs(
+        keys, values, segment_offsets, key=key, device=device, kernel_name=kernel_name
+    )
+
+
+def segmented_compact_columns(
+    keys: np.ndarray,
+    values: Optional[np.ndarray],
+    mask: np.ndarray,
+    segment_offsets: np.ndarray,
+    device: Optional[Device] = None,
+    kernel_name: str = "compact.columns",
+) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """Segmented stream compaction of a column set.
+
+    Returns ``(kept_keys, kept_values_or_None, new_segment_offsets)``.  The
+    value column rides along through the same selection mask; its traffic is
+    recorded as one extra gather kernel, exactly like the fused
+    keys-and-values compaction the range-query pipeline launches.
+    """
+    out_keys, new_offsets = segmented_compact(
+        keys, mask, segment_offsets, device=device, kernel_name=kernel_name
+    )
+    if values is None:
+        return out_keys, None, new_offsets
+    device = device or get_default_device()
+    out_values = values[mask]
+    device.record_kernel(
+        f"{kernel_name}.values",
+        coalesced_read_bytes=values.nbytes + mask.size,
+        coalesced_write_bytes=out_values.nbytes,
+        work_items=int(values.size),
+    )
+    return out_keys, out_values, new_offsets

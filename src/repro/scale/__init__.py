@@ -1,0 +1,24 @@
+"""Scale-out layer: the shared dictionary protocol and the sharded LSM.
+
+* :class:`repro.scale.protocol.DictionaryProtocol` — the structural type of
+  a batched GPU dictionary (paper Table I); :class:`~repro.core.lsm.GPULSM`,
+  :class:`~repro.baselines.sorted_array.GPUSortedArray` and
+  :class:`~repro.baselines.cuckoo_hash.CuckooHashTable` all satisfy it.
+* :class:`repro.scale.sharded.ShardedLSM` — a keyspace-sharded front-end
+  that routes update batches with one stable multisplit and fans them out
+  across independent per-shard GPU LSMs on per-shard simulated devices.
+"""
+
+from repro.scale.protocol import (
+    DictionaryProtocol,
+    UnsupportedOperationError,
+    supports,
+)
+from repro.scale.sharded import ShardedLSM
+
+__all__ = [
+    "DictionaryProtocol",
+    "UnsupportedOperationError",
+    "supports",
+    "ShardedLSM",
+]

@@ -1,0 +1,93 @@
+"""The batch-dictionary protocol every queryable structure satisfies.
+
+The paper's Table I compares the GPU LSM, the GPU sorted array and the
+cuckoo hash table operation by operation: all three offer batched
+``insert`` / ``delete`` / ``lookup`` / ``count`` / ``range_query`` entry
+points (plus ``bulk_build``), even though some cells of the table are
+"unsupported" for a given structure.  :class:`DictionaryProtocol` captures
+that shared surface as a structural (``typing.Protocol``) type, so the
+scale-out layer — :class:`repro.scale.sharded.ShardedLSM` — and the
+benchmark harness can be written against *a dictionary*, not against a
+concrete class.
+
+A structure that cannot implement an operation (the cuckoo table has no
+ordered queries, for example) still provides the method and raises
+:class:`UnsupportedOperationError`, mirroring the dashes of Table I; the
+caller can probe support cheaply via :func:`supports`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.lsm import LookupResult, RangeResult
+
+
+class UnsupportedOperationError(NotImplementedError):
+    """Raised by a dictionary for an operation it does not support
+    (a dash in the paper's Table I)."""
+
+
+@runtime_checkable
+class DictionaryProtocol(Protocol):
+    """Structural type of a batched GPU dictionary (paper Table I).
+
+    All methods are *batch* operations: they take arrays of keys (and
+    values / range bounds) and answer every element of the batch in one
+    bulk-synchronous pass over the simulated device.
+    """
+
+    def bulk_build(
+        self, keys: np.ndarray, values: Optional[np.ndarray] = None
+    ) -> None:
+        """Build the dictionary from scratch out of ``keys`` (/``values``)."""
+        ...
+
+    def insert(self, keys: np.ndarray, values: Optional[np.ndarray] = None) -> None:
+        """Insert one batch of key(/value) pairs."""
+        ...
+
+    def delete(self, keys: np.ndarray) -> None:
+        """Delete one batch of keys."""
+        ...
+
+    def lookup(self, query_keys: np.ndarray) -> LookupResult:
+        """Most recent value per queried key, or "not found"."""
+        ...
+
+    def count(self, k1: np.ndarray, k2: np.ndarray) -> np.ndarray:
+        """Number of live keys in ``[k1[i], k2[i]]`` per query."""
+        ...
+
+    def range_query(self, k1: np.ndarray, k2: np.ndarray) -> RangeResult:
+        """All live pairs in ``[k1[i], k2[i]]`` per query, flat layout."""
+        ...
+
+
+def supports(dictionary: DictionaryProtocol, operation: str) -> bool:
+    """True when ``dictionary`` implements ``operation`` for real.
+
+    Probes the method with an empty batch: structures that do not support
+    an operation raise :class:`UnsupportedOperationError` eagerly, before
+    looking at their arguments, so an empty probe is free of side effects.
+    """
+    method = getattr(dictionary, operation, None)
+    if method is None:
+        return False
+    empty_u32 = np.zeros(0, dtype=np.uint32)
+    try:
+        if operation in ("count", "range_query"):
+            method(empty_u32, empty_u32)
+        elif operation in ("lookup", "delete"):
+            method(empty_u32)
+        else:  # insert / bulk_build
+            method(empty_u32, empty_u32)
+    except UnsupportedOperationError:
+        return False
+    except Exception:
+        # Any other failure (e.g. "batch must be non-empty") still proves
+        # the operation exists and is implemented.
+        return True
+    return True

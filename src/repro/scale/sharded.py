@@ -1,0 +1,527 @@
+"""Keyspace-sharded dictionary front-end over per-shard GPU LSMs.
+
+The GPU LSM of the paper is a single-device structure; the first genuine
+scale-out step is to partition the 31-bit original-key domain into
+``num_shards`` contiguous ranges and run one independent GPU LSM per range,
+each on its own simulated device — the multi-GPU layout the paper's
+conclusion points at ("scaling to multiple GPUs").  The front-end stays
+batch-oriented end to end:
+
+* **Updates** are canonicalised exactly like one LSM batch (full-word radix
+  sort, then one surviving operation per key: the tombstone if the batch
+  deletes the key, else the first insertion — rules 4 and 6 of Section
+  III-A) and then routed with a single stable ``multisplit`` keyed on the
+  shard id.  Each shard applies its contiguous segment through its own
+  insertion cascade; segments larger than the shard batch size are applied
+  in chunks, which is safe because canonicalisation left at most one
+  operation per key.
+* **Lookups** are routed with the same multisplit (the query's original
+  position rides along as the multisplit value) and scattered back into the
+  caller's order.
+* **Count / range queries** clip each ``[k1, k2]`` interval against every
+  shard's key range; per-shard results are merged back into the paper's
+  flat output layout, ascending shard order keeping each query's results
+  key-sorted.
+
+Every shard owns a private :class:`~repro.gpu.Device`, and the routing work
+runs on a dedicated router device, so the profiler can report both the
+*serial* cost (sum over devices — total work) and the *parallel* cost
+(router plus the slowest shard — wall clock with all shards running
+concurrently), which is what the sharded benchmark workload reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import LSMConfig
+from repro.core.encoding import STATUS_REGULAR, STATUS_TOMBSTONE
+from repro.core.lsm import GPULSM, LookupResult, RangeResult
+from repro.core.run import SortedRun
+from repro.gpu.device import Device
+from repro.gpu.spec import GPUSpec, K40C_SPEC
+from repro.primitives.multisplit import MAX_WARP_BUCKETS
+
+
+def _floor_pow2(n: int) -> int:
+    return 1 << (max(1, n).bit_length() - 1)
+
+
+class ShardedLSM:
+    """A dictionary sharded by contiguous key range over per-shard GPU LSMs.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of key-range shards, ``1 <= num_shards <= 32`` (one
+        warp-level multisplit pass routes a batch).
+    batch_size:
+        The front-end batch size ``b``: one update call carries at most
+        this many operations, like :meth:`GPULSM.insert`.
+    shard_batch_size:
+        Batch size of each per-shard LSM.  Defaults to the largest power of
+        two not exceeding ``batch_size / num_shards`` (so a uniformly
+        routed front-end batch fills roughly one batch per shard); must be
+        a power of two ≥ 2.
+    key_only:
+        When true no value columns are stored anywhere.
+    key_domain:
+        Size of the routed key domain; keys must lie in ``[0,
+        key_domain)``.  Defaults to the full 31-bit original-key domain.
+        Tests shrink it so small keyspaces still spread across shards.
+    spec:
+        Device spec used for the router device and every shard device.
+    validate_invariants:
+        Forwarded to every per-shard :class:`LSMConfig` (slow; for tests).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        batch_size: int = 1 << 16,
+        shard_batch_size: Optional[int] = None,
+        key_only: bool = False,
+        key_domain: Optional[int] = None,
+        spec: GPUSpec = K40C_SPEC,
+        validate_invariants: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if not 1 <= num_shards <= MAX_WARP_BUCKETS:
+            raise ValueError(
+                f"num_shards must be in [1, {MAX_WARP_BUCKETS}] "
+                "(one warp-level multisplit routes a batch)"
+            )
+        if batch_size < 2 or batch_size & (batch_size - 1):
+            raise ValueError("batch_size must be a power of two and at least 2")
+        if shard_batch_size is None:
+            shard_batch_size = max(2, _floor_pow2(batch_size // num_shards))
+        self.num_shards = num_shards
+        self.batch_size = batch_size
+        self.shard_batch_size = shard_batch_size
+        self.key_only = key_only
+        self.router_device = Device(spec, seed=seed)
+        self.shard_config = LSMConfig(
+            batch_size=shard_batch_size, validate_invariants=validate_invariants
+        )
+        self.encoder = self.shard_config.encoder
+        if key_domain is None:
+            key_domain = self.encoder.max_key + 1
+        if not 1 <= key_domain <= self.encoder.max_key + 1:
+            raise ValueError("key_domain must be in [1, max_key + 1]")
+        self.key_domain = int(key_domain)
+        #: Width of each shard's contiguous key range (the last shard may
+        #: cover a shorter tail of the domain).
+        self.shard_width = -(-self.key_domain // num_shards)
+        self.shards: List[GPULSM] = [
+            GPULSM(
+                config=self.shard_config,
+                device=Device(spec, seed=seed + 1 + s),
+                key_only=key_only,
+            )
+            for s in range(num_shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_elements(self) -> int:
+        """Physically resident elements across all shards (stale included)."""
+        return sum(shard.num_elements for shard in self.shards)
+
+    @property
+    def total_insertions(self) -> int:
+        return sum(shard.total_insertions for shard in self.shards)
+
+    @property
+    def total_deletions(self) -> int:
+        return sum(shard.total_deletions for shard in self.shards)
+
+    @property
+    def memory_usage_bytes(self) -> int:
+        return sum(shard.memory_usage_bytes for shard in self.shards)
+
+    def __len__(self) -> int:
+        return self.num_elements
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedLSM(shards={self.num_shards}, b={self.batch_size}, "
+            f"shard_b={self.shard_batch_size}, elements={self.num_elements})"
+        )
+
+    def shard_range(self, s: int) -> Tuple[int, int]:
+        """Inclusive key range ``[lo, hi]`` owned by shard ``s``."""
+        lo = s * self.shard_width
+        hi = min((s + 1) * self.shard_width, self.key_domain) - 1
+        return lo, hi
+
+    def _shard_ids(self, keys: np.ndarray) -> np.ndarray:
+        """Shard id per original key (out-of-domain keys clamp to the last
+        shard, where they are correctly never found)."""
+        ids = np.asarray(keys).astype(np.int64) // self.shard_width
+        return np.minimum(ids, self.num_shards - 1)
+
+    # ------------------------------------------------------------------ #
+    # Input validation
+    # ------------------------------------------------------------------ #
+    def _check_update_keys(self, keys: np.ndarray, what: str) -> np.ndarray:
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ValueError(f"{what} must be one-dimensional")
+        if keys.size and (
+            int(keys.min()) < 0 or int(keys.max()) >= self.key_domain
+        ):
+            raise ValueError(
+                f"{what} must lie in the sharded key domain [0, {self.key_domain})"
+            )
+        return keys
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def insert(self, keys: np.ndarray, values: Optional[np.ndarray] = None) -> None:
+        """Insert one batch of key(/value) pairs (at most ``batch_size``)."""
+        self.update(insert_keys=keys, insert_values=values)
+
+    def delete(self, keys: np.ndarray) -> None:
+        """Delete one batch of keys."""
+        self.update(delete_keys=keys)
+
+    def update(
+        self,
+        insert_keys: Optional[np.ndarray] = None,
+        insert_values: Optional[np.ndarray] = None,
+        delete_keys: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply one mixed batch with the LSM's batch semantics.
+
+        The batch is canonicalised (one surviving operation per key) and
+        routed to the shards with one stable multisplit on the shard id.
+        """
+        ins = self._check_update_keys(
+            insert_keys if insert_keys is not None else np.zeros(0, np.uint64),
+            "insert keys",
+        )
+        dels = self._check_update_keys(
+            delete_keys if delete_keys is not None else np.zeros(0, np.uint64),
+            "delete keys",
+        )
+        real = int(ins.size + dels.size)
+        if real == 0:
+            raise ValueError("an update batch must contain at least one operation")
+        if real > self.batch_size:
+            raise ValueError(
+                f"batch holds {real} operations but the front-end batch size is "
+                f"{self.batch_size}; split the work into multiple batches"
+            )
+        if self.key_only:
+            if insert_values is not None:
+                raise ValueError("key-only dictionaries take no values")
+            vals = None
+        else:
+            if ins.size and insert_values is None:
+                raise ValueError("insert_values is required unless key_only=True")
+            given = (
+                np.asarray(insert_values, dtype=self.shard_config.value_dtype)
+                if insert_values is not None
+                else np.zeros(0, dtype=self.shard_config.value_dtype)
+            )
+            if given.size != ins.size:
+                raise ValueError("insert_values must match insert_keys in length")
+            vals = np.zeros(real, dtype=self.shard_config.value_dtype)
+            vals[: ins.size] = given
+
+        words = np.empty(real, dtype=self.shard_config.key_dtype)
+        words[: ins.size] = self.encoder.encode(ins, STATUS_REGULAR)
+        words[ins.size :] = self.encoder.encode(dels, STATUS_TOMBSTONE)
+
+        with self.router_device.timed_region("sharded.route", items=real):
+            # Canonicalise: full-word sort puts a key's tombstone ahead of
+            # its insertions and keeps equal insertions in batch order, so
+            # the first element of each equal-key run is the batch's one
+            # surviving operation (rules 4 and 6 of Section III-A).
+            batch = SortedRun(words, vals).sort(device=self.router_device)
+            first = batch.first_per_key(self.encoder.strip_status)
+            batch = batch.compact(
+                first, device=self.router_device, kernel_name="sharded.route.dedup"
+            )
+
+            # Route with one stable multisplit keyed on the shard id.
+            routed, offsets = batch.multisplit(
+                lambda ws: self._shard_ids(self.encoder.decode_key(ws)),
+                num_buckets=self.num_shards,
+                device=self.router_device,
+                kernel_name="sharded.route.multisplit",
+            )
+
+        for s, shard in enumerate(self.shards):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            # Canonicalisation left one operation per key, so applying a
+            # large segment as several shard batches cannot change the
+            # outcome (distinct keys commute).
+            for start in range(lo, hi, self.shard_batch_size):
+                stop = min(start + self.shard_batch_size, hi)
+                chunk = routed.slice(start, stop)
+                regular = self.encoder.is_regular(chunk.keys)
+                chunk_ins = self.encoder.decode_key(chunk.keys[regular])
+                chunk_dels = self.encoder.decode_key(chunk.keys[~regular])
+                chunk_vals = (
+                    None if chunk.values is None else chunk.values[regular]
+                )
+                shard.update(
+                    insert_keys=chunk_ins if chunk_ins.size else None,
+                    insert_values=chunk_vals if chunk_ins.size else None,
+                    delete_keys=chunk_dels if chunk_dels.size else None,
+                )
+
+    def bulk_build(
+        self, keys: np.ndarray, values: Optional[np.ndarray] = None
+    ) -> None:
+        """Build all shards from scratch: one routing multisplit, then one
+        per-shard bulk build (Section V-B per shard)."""
+        if self.num_elements:
+            raise RuntimeError("bulk_build requires an empty sharded dictionary")
+        keys = self._check_update_keys(keys, "bulk_build keys")
+        if keys.size == 0:
+            raise ValueError("bulk_build requires a non-empty key array")
+        vals = None
+        if not self.key_only:
+            if values is None:
+                raise ValueError("values are required unless key_only=True")
+            vals = np.asarray(values, dtype=self.shard_config.value_dtype)
+            if vals.shape != keys.shape:
+                raise ValueError("values must match keys in shape")
+
+        with self.router_device.timed_region("sharded.bulk_route", items=keys.size):
+            routed, offsets = SortedRun(keys, vals).multisplit(
+                self._shard_ids,
+                num_buckets=self.num_shards,
+                device=self.router_device,
+                kernel_name="sharded.bulk_route.multisplit",
+            )
+        for s, shard in enumerate(self.shards):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            if hi == lo:
+                continue
+            segment = routed.slice(lo, hi)
+            shard.bulk_build(segment.keys, segment.values)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def lookup(self, query_keys: np.ndarray) -> LookupResult:
+        """Batch LOOKUP routed by shard and scattered back to query order."""
+        query_keys = np.asarray(query_keys)
+        if query_keys.ndim != 1:
+            raise ValueError("lookup expects a one-dimensional query array")
+        nq = query_keys.size
+        found = np.zeros(nq, dtype=bool)
+        values = (
+            None
+            if self.key_only
+            else np.zeros(nq, dtype=self.shard_config.value_dtype)
+        )
+        if nq == 0:
+            return LookupResult(found=found, values=values)
+        if int(query_keys.min()) < 0 or int(query_keys.max()) > self.encoder.max_key:
+            raise ValueError("query keys exceed the 31-bit original-key domain")
+
+        with self.router_device.timed_region("sharded.lookup_route", items=nq):
+            # The query's original position rides along as the multisplit
+            # value, so results scatter straight back into caller order.
+            routed, offsets = SortedRun(
+                query_keys, np.arange(nq, dtype=np.int64)
+            ).multisplit(
+                self._shard_ids,
+                num_buckets=self.num_shards,
+                device=self.router_device,
+                kernel_name="sharded.lookup_route.multisplit",
+            )
+
+        for s, shard in enumerate(self.shards):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            if hi == lo:
+                continue
+            res = shard.lookup(routed.keys[lo:hi])
+            positions = routed.values[lo:hi]
+            found[positions] = res.found
+            if values is not None and res.values is not None:
+                values[positions] = res.values
+        return LookupResult(found=found, values=values)
+
+    def _clip_ranges(
+        self, k1: np.ndarray, k2: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Per shard: (query indices intersecting the shard, clipped k1,
+        clipped k2)."""
+        per_shard = []
+        for s in range(self.num_shards):
+            lo, hi = self.shard_range(s)
+            c1 = np.maximum(k1.astype(np.int64), lo)
+            c2 = np.minimum(k2.astype(np.int64), hi)
+            idx = np.flatnonzero(c1 <= c2)
+            per_shard.append(
+                (idx, c1[idx].astype(np.uint64), c2[idx].astype(np.uint64))
+            )
+        self.router_device.record_kernel(
+            "sharded.query.clip",
+            coalesced_read_bytes=k1.nbytes + k2.nbytes,
+            coalesced_write_bytes=(k1.nbytes + k2.nbytes) * self.num_shards,
+            work_items=int(k1.size) * self.num_shards,
+        )
+        return per_shard
+
+    def _check_range_args(
+        self, k1: np.ndarray, k2: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        k1 = np.asarray(k1)
+        k2 = np.asarray(k2)
+        if k1.ndim != 1 or k2.shape != k1.shape:
+            raise ValueError("k1 and k2 must be one-dimensional and equally long")
+        if k1.size:
+            if (
+                int(k1.max()) > self.encoder.max_key
+                or int(k2.max()) > self.encoder.max_key
+            ):
+                raise ValueError("range bounds exceed the original-key domain")
+            if np.any(k2 < k1):
+                raise ValueError("every range must satisfy k1 <= k2")
+        return k1, k2
+
+    def count(self, k1: np.ndarray, k2: np.ndarray) -> np.ndarray:
+        """Batch COUNT: per-shard counts of the clipped ranges, summed."""
+        k1, k2 = self._check_range_args(k1, k2)
+        nq = k1.size
+        counts = np.zeros(nq, dtype=np.int64)
+        if nq == 0:
+            return counts
+        for s, (idx, c1, c2) in enumerate(self._clip_ranges(k1, k2)):
+            if idx.size == 0:
+                continue
+            counts[idx] += self.shards[s].count(c1, c2)
+        return counts
+
+    def range_query(self, k1: np.ndarray, k2: np.ndarray) -> RangeResult:
+        """Batch RANGE: per-shard results merged into the flat layout.
+
+        Ascending shard order concatenates each query's per-shard slices in
+        ascending key order, so the merged buffer keeps the paper's
+        "sorted by key within each query" guarantee.
+        """
+        k1, k2 = self._check_range_args(k1, k2)
+        nq = k1.size
+        empty_vals = (
+            None if self.key_only else np.zeros(0, self.shard_config.value_dtype)
+        )
+        if nq == 0:
+            return RangeResult(
+                offsets=np.zeros(1, dtype=np.int64),
+                keys=np.zeros(0, dtype=np.uint64),
+                values=empty_vals,
+            )
+
+        counts = np.zeros((nq, self.num_shards), dtype=np.int64)
+        shard_results: Dict[int, Tuple[np.ndarray, RangeResult]] = {}
+        for s, (idx, c1, c2) in enumerate(self._clip_ranges(k1, k2)):
+            if idx.size == 0:
+                continue
+            rr = self.shards[s].range_query(c1, c2)
+            counts[idx, s] = rr.counts
+            shard_results[s] = (idx, rr)
+
+        per_query = counts.sum(axis=1)
+        offsets = np.zeros(nq + 1, dtype=np.int64)
+        np.cumsum(per_query, out=offsets[1:])
+        total = int(offsets[-1])
+        before = np.cumsum(counts, axis=1) - counts  # within-query offsets
+
+        out_keys = np.empty(total, dtype=np.uint64)
+        out_values = (
+            None
+            if self.key_only
+            else np.empty(total, dtype=self.shard_config.value_dtype)
+        )
+        merged_bytes = 0
+        for s, (idx, rr) in shard_results.items():
+            lengths = counts[idx, s]
+            chunk_total = int(lengths.sum())
+            if chunk_total == 0:
+                continue
+            dest_start = offsets[idx] + before[idx, s]
+            within = np.arange(chunk_total) - np.repeat(
+                np.cumsum(lengths) - lengths, lengths
+            )
+            dest = np.repeat(dest_start, lengths) + within
+            out_keys[dest] = rr.keys
+            if out_values is not None and rr.values is not None:
+                out_values[dest] = rr.values
+            merged_bytes += chunk_total * (
+                out_keys.dtype.itemsize
+                + (out_values.dtype.itemsize if out_values is not None else 0)
+            )
+        self.router_device.record_kernel(
+            "sharded.range.merge",
+            coalesced_read_bytes=merged_bytes,
+            coalesced_write_bytes=merged_bytes,
+            work_items=total,
+            launches=max(1, len(shard_results)),
+        )
+        return RangeResult(offsets=offsets, keys=out_keys, values=out_values)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance and profiling
+    # ------------------------------------------------------------------ #
+    def cleanup(self) -> dict:
+        """Run cleanup on every shard; returns aggregated statistics."""
+        totals = {"elements_before": 0, "elements_after": 0, "removed": 0,
+                  "padding": 0}
+        for shard in self.shards:
+            stats = shard.cleanup()
+            for key in totals:
+                totals[key] += stats[key]
+        return totals
+
+    def shard_stats(self) -> List[dict]:
+        """Per-shard occupancy and profiler counters (for the bench report)."""
+        rows = []
+        for s, shard in enumerate(self.shards):
+            lo, hi = self.shard_range(s)
+            rows.append(
+                {
+                    "shard": s,
+                    "key_lo": lo,
+                    "key_hi": hi,
+                    "num_elements": shard.num_elements,
+                    "num_batches": shard.num_batches,
+                    "total_insertions": shard.total_insertions,
+                    "total_deletions": shard.total_deletions,
+                    "simulated_seconds": shard.device.simulated_seconds,
+                }
+            )
+        return rows
+
+    def profile(self) -> dict:
+        """Aggregate timing across the router and all shard devices.
+
+        ``serial_seconds`` is the total simulated work; ``parallel_seconds``
+        models all shards running concurrently (router time plus the
+        slowest shard) and is what the effective sharded throughput is
+        measured against.
+        """
+        shard_seconds = [s.device.simulated_seconds for s in self.shards]
+        router = self.router_device.simulated_seconds
+        return {
+            "router_seconds": router,
+            "shard_seconds": shard_seconds,
+            "serial_seconds": router + float(np.sum(shard_seconds)),
+            "parallel_seconds": router + (max(shard_seconds) if shard_seconds else 0.0),
+        }
+
+    def reset_counters(self) -> None:
+        """Clear every device's counters and clocks (fresh measurement)."""
+        self.router_device.reset_counters()
+        for shard in self.shards:
+            shard.device.reset_counters()

@@ -12,6 +12,7 @@ from repro.core.invariants import (
 )
 from repro.core.level import Level
 from repro.core.lsm import GPULSM
+from repro.core.run import SortedRun
 
 
 ENC = KeyEncoder(np.dtype(np.uint32))
@@ -35,14 +36,18 @@ class TestLevelInvariants:
     def test_wrong_occupancy_fails(self):
         lvl = Level(index=0, capacity=4)
         # Bypass fill() to simulate a corrupted level.
-        lvl.keys = ENC.encode(np.array([1, 2, 3], dtype=np.uint32), 1)
+        lvl.run = SortedRun(ENC.encode(np.array([1, 2, 3], dtype=np.uint32), 1))
         with pytest.raises(InvariantViolation, match="expected"):
             check_level_invariants(lvl, ENC)
 
     def test_value_length_mismatch_fails(self):
         lvl = Level(index=0, capacity=2)
-        lvl.keys = ENC.encode(np.array([1, 2], dtype=np.uint32), 1)
-        lvl.values = np.array([5], dtype=np.uint32)
+        lvl.run = SortedRun(
+            ENC.encode(np.array([1, 2], dtype=np.uint32), 1),
+            np.array([5, 6], dtype=np.uint32),
+        )
+        # Corrupt the (frozen) run behind the constructor's validation.
+        object.__setattr__(lvl.run, "values", np.array([5], dtype=np.uint32))
         with pytest.raises(InvariantViolation, match="values"):
             check_level_invariants(lvl, ENC)
 
@@ -74,7 +79,9 @@ class TestLSMInvariants:
         lsm = GPULSM(config=LSMConfig(batch_size=8), device=device)
         lsm.insert(rng.integers(0, 1000, 8, dtype=np.uint32),
                    rng.integers(0, 100, 8, dtype=np.uint32))
-        lsm.levels[0].keys = lsm.levels[0].keys[::-1].copy()
+        lsm.levels[0].run = SortedRun(
+            lsm.levels[0].keys[::-1].copy(), lsm.levels[0].values
+        )
         with pytest.raises(InvariantViolation):
             check_lsm_invariants(lsm)
 
@@ -89,7 +96,9 @@ class TestLSMInvariants:
                      device=device)
         lsm.insert(rng.integers(0, 1000, 8, dtype=np.uint32),
                    rng.integers(0, 100, 8, dtype=np.uint32))
-        lsm.levels[0].keys = lsm.levels[0].keys[::-1].copy()
+        lsm.levels[0].run = SortedRun(
+            lsm.levels[0].keys[::-1].copy(), lsm.levels[0].values
+        )
         with pytest.raises(InvariantViolation):
             lsm.insert(rng.integers(0, 1000, 8, dtype=np.uint32),
                        rng.integers(0, 100, 8, dtype=np.uint32))

@@ -1,0 +1,93 @@
+"""Regression tests for fixed GPU LSM edge cases.
+
+* ``bulk_build`` must validate its keys against the encoder's 31-bit
+  original-key domain up front, like lookup and the range queries already
+  do, instead of relying on downstream encode behaviour.
+* ``stale_fraction_estimate`` must not be fooled by duplicate-key
+  re-insertions: repeatedly inserting the same key inflates the lifetime
+  insertion counter without growing the live population, which used to
+  drive the estimate to zero exactly when almost everything was stale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.lsm import GPULSM
+
+
+class TestBulkBuildDomainValidation:
+    def test_out_of_domain_key_rejected(self, device):
+        lsm = GPULSM(config=LSMConfig(batch_size=8), device=device)
+        keys = np.array([1, 2, 1 << 31], dtype=np.uint64)
+        values = np.zeros(3, dtype=np.uint32)
+        with pytest.raises(ValueError, match="original-key domain"):
+            lsm.bulk_build(keys, values)
+        # The failed build must not leave partial state behind.
+        assert lsm.num_batches == 0 and lsm.num_elements == 0
+
+    def test_negative_key_rejected(self, device):
+        lsm = GPULSM(config=LSMConfig(batch_size=8), device=device, key_only=True)
+        with pytest.raises(ValueError, match="original-key domain"):
+            lsm.bulk_build(np.array([3, -1], dtype=np.int64))
+
+    def test_max_key_accepted(self, device):
+        lsm = GPULSM(config=LSMConfig(batch_size=8), device=device, key_only=True)
+        lsm.bulk_build(np.array([0, (1 << 31) - 1], dtype=np.uint64))
+        res = lsm.lookup(np.array([(1 << 31) - 1], dtype=np.uint64))
+        assert bool(res.found[0])
+
+
+class TestStaleFractionEstimate:
+    def test_duplicate_reinsertions_do_not_zero_the_estimate(self, device):
+        b = 8
+        lsm = GPULSM(config=LSMConfig(batch_size=b), device=device)
+        # The same single key re-inserted for 8 full batches: 64 resident
+        # elements of which exactly one is live.
+        for i in range(8):
+            lsm.insert(
+                np.full(b, 42, dtype=np.uint32), np.full(b, i, dtype=np.uint32)
+            )
+        assert lsm.num_elements == 64
+        estimate = lsm.stale_fraction_estimate()
+        # True stale fraction is 63/64; the estimate must not undershoot
+        # grossly (the pre-fix value here was 0.0).
+        assert estimate >= 0.8
+
+    def test_unique_insertions_report_no_staleness(self, device):
+        b = 8
+        lsm = GPULSM(config=LSMConfig(batch_size=b), device=device)
+        for i in range(4):
+            keys = np.arange(i * b, (i + 1) * b, dtype=np.uint32)
+            lsm.insert(keys, keys)
+        assert lsm.stale_fraction_estimate() == 0.0
+
+    def test_deletions_still_count_as_stale(self, device):
+        b = 8
+        lsm = GPULSM(config=LSMConfig(batch_size=b), device=device)
+        keys = np.arange(b, dtype=np.uint32)
+        lsm.insert(keys, keys)
+        lsm.delete(keys)
+        # All 16 resident elements are stale (8 deleted + 8 tombstones).
+        assert lsm.stale_fraction_estimate() == 1.0
+
+    def test_cleanup_resets_the_estimate(self, device):
+        b = 8
+        lsm = GPULSM(config=LSMConfig(batch_size=b), device=device)
+        for i in range(4):
+            lsm.insert(
+                np.full(b, 7, dtype=np.uint32), np.full(b, i, dtype=np.uint32)
+            )
+        assert lsm.stale_fraction_estimate() > 0.5
+        lsm.cleanup()
+        # One live element survives, padded up to one batch of placebos.
+        assert lsm.num_elements == b
+        # Post-cleanup the estimate reflects only the padding placebos.
+        assert lsm.stale_fraction_estimate() == pytest.approx((b - 1) / b)
+
+    def test_bulk_build_duplicates_feed_the_bound(self, device):
+        b = 8
+        lsm = GPULSM(config=LSMConfig(batch_size=b), device=device, key_only=True)
+        lsm.bulk_build(np.full(2 * b, 3, dtype=np.uint32))
+        # 16 resident copies of one key: 15 stale.
+        assert lsm.stale_fraction_estimate() >= 0.8

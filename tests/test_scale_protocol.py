@@ -1,0 +1,111 @@
+"""Protocol conformance of every dictionary structure (paper Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cuckoo_hash import CuckooHashTable
+from repro.baselines.sorted_array import GPUSortedArray
+from repro.core.config import LSMConfig
+from repro.core.lsm import GPULSM
+from repro.scale import (
+    DictionaryProtocol,
+    ShardedLSM,
+    UnsupportedOperationError,
+    supports,
+)
+
+
+class TestStructuralConformance:
+    def test_all_structures_satisfy_the_protocol(self, device):
+        structures = [
+            GPULSM(config=LSMConfig(batch_size=8), device=device),
+            GPUSortedArray(device=device),
+            CuckooHashTable(device=device),
+            ShardedLSM(num_shards=2, batch_size=8),
+        ]
+        for structure in structures:
+            assert isinstance(structure, DictionaryProtocol), structure
+
+    def test_supports_reflects_table1(self, device):
+        lsm = GPULSM(config=LSMConfig(batch_size=8), device=device)
+        cuckoo = CuckooHashTable(device=device)
+        for op in ("insert", "delete", "lookup", "count", "range_query"):
+            assert supports(lsm, op), op
+        assert supports(cuckoo, "insert")
+        assert supports(cuckoo, "lookup")
+        assert not supports(cuckoo, "count")
+        assert not supports(cuckoo, "range_query")
+
+
+class TestCuckooIncrementalOps:
+    def test_insert_adds_and_overwrites(self, device):
+        table = CuckooHashTable(device=device)
+        table.bulk_build(
+            np.array([1, 2, 3], dtype=np.uint64),
+            np.array([10, 20, 30], dtype=np.uint64),
+        )
+        table.insert(
+            np.array([2, 4], dtype=np.uint64), np.array([99, 40], dtype=np.uint64)
+        )
+        res = table.lookup(np.array([1, 2, 4, 5], dtype=np.uint64))
+        assert list(res.found) == [True, True, True, False]
+        assert int(res.values[1]) == 99  # the new value won
+        assert table.num_elements == 4
+
+    def test_delete_removes_keys(self, device):
+        table = CuckooHashTable(device=device)
+        table.bulk_build(
+            np.array([1, 2, 3], dtype=np.uint64),
+            np.array([10, 20, 30], dtype=np.uint64),
+        )
+        table.delete(np.array([1, 3, 7], dtype=np.uint64))
+        res = table.lookup(np.array([1, 2, 3], dtype=np.uint64))
+        assert list(res.found) == [False, True, False]
+        assert table.num_elements == 1
+
+    def test_delete_everything_empties_the_table(self, device):
+        table = CuckooHashTable(device=device)
+        table.bulk_build(np.array([5], dtype=np.uint64), np.array([50], dtype=np.uint64))
+        table.delete(np.array([5], dtype=np.uint64))
+        assert table.num_elements == 0
+        assert not table.lookup(np.array([5], dtype=np.uint64)).found[0]
+
+    def test_ordered_queries_raise(self, device):
+        table = CuckooHashTable(device=device)
+        with pytest.raises(UnsupportedOperationError):
+            table.count(np.array([0]), np.array([10]))
+        with pytest.raises(UnsupportedOperationError):
+            table.range_query(np.array([0]), np.array([10]))
+
+    def test_insert_requires_values(self, device):
+        with pytest.raises(ValueError, match="key-value"):
+            CuckooHashTable(device=device).insert(np.array([1], dtype=np.uint64))
+
+    def test_failed_rebuild_leaves_the_table_intact(self, device):
+        table = CuckooHashTable(device=device)
+        table.bulk_build(
+            np.array([1, 2, 3], dtype=np.uint64),
+            np.array([10, 20, 30], dtype=np.uint64),
+        )
+        # The all-ones key is the reserved empty sentinel: the rebuild
+        # fails, and must not have wiped the resident elements first.
+        with pytest.raises(ValueError, match="sentinel"):
+            table.insert(
+                np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64),
+                np.array([1], dtype=np.uint64),
+            )
+        assert table.num_elements == 3
+        assert table.lookup(np.array([2], dtype=np.uint64)).found[0]
+
+    def test_duplicate_keys_within_a_batch_canonicalised(self, device):
+        table = CuckooHashTable(device=device)
+        table.bulk_build(
+            np.array([9], dtype=np.uint64), np.array([90], dtype=np.uint64)
+        )
+        table.insert(
+            np.array([7, 7, 7], dtype=np.uint64),
+            np.array([1, 2, 3], dtype=np.uint64),
+        )
+        assert table.num_elements == 2  # one resident copy of key 7
+        res = table.lookup(np.array([7], dtype=np.uint64))
+        assert res.found[0] and int(res.values[0]) == 1  # first occurrence wins
