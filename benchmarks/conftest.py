@@ -41,6 +41,7 @@ SCALES = {
                                 stale_fraction=0.1, num_queries=1 << 14),
         "sharded": dict(total_elements=1 << 15, batch_size=1 << 10,
                         shard_counts=(1, 2, 4, 8)),
+        "mixed": dict(num_ops=1 << 14, tick_size=1 << 10),
     },
     "paper": {
         "table1": dict(small_elements=1 << 12, large_elements=1 << 16, batch_size=1 << 9),
@@ -58,6 +59,7 @@ SCALES = {
                                 stale_fraction=0.1, num_queries=1 << 15),
         "sharded": dict(total_elements=1 << 17, batch_size=1 << 12,
                         shard_counts=(1, 2, 4, 8, 16)),
+        "mixed": dict(num_ops=1 << 17, tick_size=1 << 12),
     },
 }
 

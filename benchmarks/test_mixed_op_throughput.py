@@ -1,0 +1,52 @@
+"""Benchmark E10 — mixed-operation serving: KVStore ticks vs segregated calls.
+
+Beyond the paper: the mixed-operation executor of :mod:`repro.api` serves
+one arbitrary-mix :class:`~repro.api.ops.OpBatch` per tick — one stable
+multisplit by opcode, one canonical update cascade, one bulk pass per query
+kind — where a caller on the per-method surface issues up to five
+homogeneous calls (and two separately-padded update cascades).  Shapes
+asserted:
+
+* the mixed path beats the segregated path on the same tick stream, on
+  both the single-device LSM and the sharded front-end;
+* both paths process identical operation totals (same workload, no ops
+  dropped by either plan).
+
+The rows land in ``benchmarks/results/mixed_op_rates.csv`` — the baseline
+future serving-path PRs are measured against.
+"""
+
+import os
+
+from repro.bench import report
+from repro.bench.mixed import mixed_vs_segregated_throughput
+
+
+def test_mixed_batch_beats_segregated_calls(benchmark, bench_scale, results_dir):
+    params = bench_scale["mixed"]
+
+    rows = benchmark.pedantic(
+        lambda: mixed_vs_segregated_throughput(**params), rounds=1, iterations=1
+    )
+
+    by_key = {(r["backend"], r["mode"]): r for r in rows}
+    backends = sorted({r["backend"] for r in rows})
+    assert backends == ["gpulsm", "sharded4"]
+
+    for backend in backends:
+        mixed = by_key[(backend, "mixed")]
+        segregated = by_key[(backend, "segregated")]
+        # Identical traffic through both paths.
+        assert mixed["num_ops"] == segregated["num_ops"]
+        assert mixed["ticks"] == segregated["ticks"]
+        # One folded update cascade + one pass per query kind must beat
+        # two padded cascades + the same query passes.
+        assert mixed["rate_mops"] > 1.05 * segregated["rate_mops"], backend
+        assert mixed["speedup"] > 1.05
+
+    report.write_csv(rows, os.path.join(results_dir, "mixed_op_rates.csv"))
+    print()
+    print(report.format_table(
+        rows,
+        title="Mixed-operation API — one OpBatch tick vs segregated calls",
+    ))

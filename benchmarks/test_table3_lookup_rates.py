@@ -11,7 +11,6 @@ sizes reduce the LSM's rates because more levels must be searched.
 
 import os
 
-import numpy as np
 
 from repro.bench import report, tables
 from repro.bench.runner import RateSummary

@@ -18,7 +18,6 @@ practical counterpart of Tables II–IV.
 Run with:  python examples/batch_size_tuning.py
 """
 
-import numpy as np
 
 from repro.bench.runner import (
     ExperimentRunner,

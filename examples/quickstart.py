@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Quickstart: the GPU LSM's full API surface in one small script.
+"""Quickstart: the mixed-operation KVStore API in one small script.
 
-Builds a dictionary, applies batched insertions, deletions and a mixed
-batch, runs every query type, performs a cleanup, and prints both the
-functional results and the simulated-GPU performance profile (the per
-operation throughput the cost model assigns on a Tesla K40c).
+Builds a store over the GPU LSM, serves mixed-operation ticks (inserts,
+deletes, lookups, counts and range queries interleaved in single
+``OpBatch`` requests), shows the two consistency knobs and the ticketing
+session, runs a cleanup, and prints the simulated-GPU performance profile
+(the per-operation throughput the cost model assigns on a Tesla K40c).
+
+The per-method batch surface (``store.insert`` / ``lookup`` / ... and the
+backends' own methods) remains fully supported; ``KVStore.apply`` is the
+front door for mixed traffic.
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import GPULSM, Device, K40C_SPEC
+from repro import Consistency, Device, K40C_SPEC, KVStore, Op, OpBatch
 from repro.bench.report import format_table
 
 
@@ -20,58 +25,72 @@ def main() -> None:
     # script's operations.
     device = Device(K40C_SPEC, seed=7)
     batch_size = 4096
-    lsm = GPULSM(batch_size=batch_size, device=device)
+    store = KVStore(batch_size=batch_size, device=device)
 
     rng = np.random.default_rng(42)
 
     # ------------------------------------------------------------------ #
-    # 1. Batched insertions: three batches of random key/value pairs.
+    # 1. Homogeneous ticks still exist: three insert batches.
     # ------------------------------------------------------------------ #
     all_keys = rng.choice(1 << 24, size=3 * batch_size, replace=False).astype(np.uint32)
     all_values = rng.integers(0, 1 << 30, size=3 * batch_size, dtype=np.uint32)
     for i in range(3):
         sl = slice(i * batch_size, (i + 1) * batch_size)
-        lsm.insert(all_keys[sl], all_values[sl])
-    print(f"after 3 insert batches: {lsm.num_elements} resident elements, "
-          f"{lsm.num_occupied_levels} occupied level(s)")
+        store.apply(OpBatch.inserts(all_keys[sl], all_values[sl]))
+    lsm = store.backend
+    print(f"after 3 insert ticks: {lsm.num_elements} resident elements, "
+          f"{lsm.num_occupied_levels} occupied level(s), epoch {store.epoch}")
 
     # ------------------------------------------------------------------ #
-    # 2. Lookups: half existing keys, half keys that were never inserted.
+    # 2. One mixed tick: deletions, lookups, a count and a range query in
+    #    a single request batch, answered in request order.
     # ------------------------------------------------------------------ #
-    queries = np.concatenate([all_keys[:2048],
-                              rng.integers(1 << 24, 1 << 25, 2048, dtype=np.uint32)])
-    result = lsm.lookup(queries)
-    print(f"lookup: {int(result.found.sum())} of {queries.size} queries found "
-          f"(expected 2048)")
+    tick = OpBatch.concat([
+        OpBatch.deletes(all_keys[:16]),                      # drop 16 keys ...
+        OpBatch.lookups(all_keys[:16]),                      # ... and read them
+        OpBatch.counts(np.array([0]), np.array([(1 << 24) - 1])),
+        OpBatch.ranges(np.array([1 << 22]), np.array([1 << 23])),
+    ])
+    res = store.apply(tick)                                  # snapshot consistency
+    found = sum(bool(res.result(16 + i).found) for i in range(16))
+    print(f"mixed tick (snapshot): lookups still see all {found}/16 deleted keys "
+          f"(reads observe the pre-tick state)")
+    print(f"  count over the full domain: {res.result(32).count} live keys")
+    print(f"  range [2^22, 2^23]: {res.result(33).count} pairs")
+    still_there = store.lookup(all_keys[:16])
+    print(f"  after the tick the deletions are visible: "
+          f"{int(still_there.found.sum())}/16 found")
 
     # ------------------------------------------------------------------ #
-    # 3. Deletion (tombstones) and a mixed update batch.
+    # 3. Strict arrival order: each op observes everything before it.
     # ------------------------------------------------------------------ #
-    lsm.delete(all_keys[:batch_size])
-    lsm.update(
-        insert_keys=all_keys[:16],                       # resurrect 16 keys ...
-        insert_values=np.full(16, 123456, dtype=np.uint32),
-        delete_keys=all_keys[batch_size:batch_size + 16],  # ... and delete 16 more
+    k = int(all_keys[100])
+    res = store.apply(
+        OpBatch.from_ops([
+            Op.delete(k),
+            Op.lookup(k),        # observes the delete
+            Op.insert(k, 123456),
+            Op.lookup(k),        # observes the re-insert
+        ]),
+        consistency=Consistency.STRICT,
     )
-    check = lsm.lookup(all_keys[:32])
-    print(f"after deletion + mixed batch: first 16 keys found again = "
-          f"{bool(check.found[:16].all())}, next 16 still deleted = "
-          f"{not check.found[16:32].any()}")
+    print(f"strict tick: after delete found={bool(res.result(1).found)}, "
+          f"after re-insert value={res.result(3).value}")
 
     # ------------------------------------------------------------------ #
-    # 4. Count and range queries.
+    # 4. Sessions: enqueue single ops, commit one tick, resolve tickets.
     # ------------------------------------------------------------------ #
-    k1 = np.array([0, 1 << 22, 1 << 23], dtype=np.uint32)
-    k2 = np.array([1 << 22, 1 << 23, (1 << 24) - 1], dtype=np.uint32)
-    counts = lsm.count(k1, k2)
-    ranges = lsm.range_query(k1, k2)
-    for i in range(k1.size):
-        keys_i, values_i = ranges.query_slice(i)
-        assert keys_i.size == counts[i]
-        print(f"range [{int(k1[i]):>9}, {int(k2[i]):>9}]: {int(counts[i]):>5} live keys")
+    session = store.session()
+    t_insert = session.insert(999, 42)
+    t_read = session.lookup(999)
+    t_count = session.count(0, 2000)
+    session.commit()
+    print(f"session commit: insert ok={t_insert.result().ok}, "
+          f"snapshot read found={t_read.result().found}, "
+          f"count(0, 2000)={t_count.result().count}")
 
     # ------------------------------------------------------------------ #
-    # 5. Cleanup: drop tombstones, deleted and replaced elements.
+    # 5. Cleanup via the backend (maintenance surface is unchanged).
     # ------------------------------------------------------------------ #
     stats = lsm.cleanup()
     print(f"cleanup: {stats['elements_before']} -> {stats['elements_after']} elements "

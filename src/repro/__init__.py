@@ -22,6 +22,12 @@ Package layout
     The scale-out layer: the batch-dictionary protocol all structures
     satisfy and :class:`repro.scale.sharded.ShardedLSM`, a keyspace-sharded
     front-end over independent per-shard GPU LSMs.
+``repro.api``
+    The mixed-operation request API — the primary public surface:
+    :class:`repro.api.ops.OpBatch` columnar request batches, the
+    multisplit planner/executor with the snapshot/strict ``consistency``
+    knob, and the :class:`repro.api.kvstore.KVStore` facade with
+    ticketing sessions.
 ``repro.bench``
     The experiment harness that regenerates every table and figure of the
     paper's Section V.
@@ -29,15 +35,14 @@ Package layout
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import GPULSM
->>> lsm = GPULSM(batch_size=1024)
+>>> from repro import KVStore, OpBatch
+>>> store = KVStore(batch_size=1024)
 >>> keys = np.arange(1024, dtype=np.uint32)
->>> lsm.insert(keys, keys * 10)
->>> result = lsm.lookup(np.array([3, 2000], dtype=np.uint32))
->>> bool(result.found[0]), bool(result.found[1])
-(True, False)
->>> int(result.values[0])
-30
+>>> store.apply(OpBatch.inserts(keys, keys * 10)).ok
+True
+>>> result = store.apply(OpBatch.lookups(np.array([3, 2000])))
+>>> result.result(0).found, result.result(0).value, result.result(1).found
+(True, 30, False)
 """
 
 from repro.core.lsm import GPULSM, LookupResult, RangeResult
@@ -53,13 +58,45 @@ from repro.scale import (
     UnsupportedOperationError,
     supports,
 )
+from repro.api import (
+    Consistency,
+    KVStore,
+    Op,
+    OpBatch,
+    OpCode,
+    OpResult,
+    ResultBatch,
+    ResultStatus,
+    Session,
+    SnapshotViolationError,
+    Ticket,
+)
 from repro.gpu.device import Device, get_default_device, set_default_device
 from repro.gpu.spec import GPUSpec, K40C_SPEC
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: Curated public surface: the mixed-operation API first (the primary
+#: entry point), then the dictionary structures, the protocol, and the
+#: simulated-device handles.
 __all__ = [
+    # Mixed-operation request API (primary surface)
+    "KVStore",
+    "Session",
+    "Ticket",
+    "Op",
+    "OpBatch",
+    "OpCode",
+    "OpResult",
+    "ResultBatch",
+    "ResultStatus",
+    "Consistency",
+    "SnapshotViolationError",
+    # Dictionary structures
     "GPULSM",
+    "ShardedLSM",
+    "GPUSortedArray",
+    "CuckooHashTable",
     "LookupResult",
     "RangeResult",
     "LSMConfig",
@@ -67,12 +104,11 @@ __all__ = [
     "MAX_KEY",
     "ReferenceDictionary",
     "SortedRun",
-    "GPUSortedArray",
-    "CuckooHashTable",
-    "ShardedLSM",
+    # Protocol and errors
     "DictionaryProtocol",
     "UnsupportedOperationError",
     "supports",
+    # Simulated device
     "Device",
     "get_default_device",
     "set_default_device",

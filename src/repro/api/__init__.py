@@ -1,0 +1,56 @@
+"""Mixed-operation request API — the library's primary public surface.
+
+The paper's dictionary is defined by *batched* operations with precise
+intra-batch semantics; a serving front-end receives those operations
+mixed, not segregated by kind.  This package closes that gap:
+
+* :mod:`repro.api.ops` — :class:`OpBatch`, the columnar request batch
+  (opcode / key / value / range-end columns) with builders and validation,
+  and :class:`ResultBatch`, its request-ordered result layout.
+* :mod:`repro.api.planner` — the planner/executor: one stable multisplit
+  by opcode per tick, the ``consistency`` knob (snapshot reads vs strict
+  arrival order), epoch pinning so reads never interleave with a cascade,
+  and per-op ``UnsupportedOperationError`` results for segments a backend
+  cannot serve.
+* :mod:`repro.api.kvstore` — the :class:`KVStore` facade with
+  ``apply(batch)``, ticketing sessions, and the forwarded per-method
+  legacy surface.
+"""
+
+from repro.api.ops import (
+    NUM_OPCODES,
+    Op,
+    OpBatch,
+    OpCode,
+    OpResult,
+    ResultBatch,
+    ResultStatus,
+)
+from repro.api.planner import (
+    Consistency,
+    Plan,
+    Segment,
+    SnapshotViolationError,
+    execute,
+    plan_batch,
+)
+from repro.api.kvstore import KVStore, Session, Ticket
+
+__all__ = [
+    "NUM_OPCODES",
+    "Op",
+    "OpBatch",
+    "OpCode",
+    "OpResult",
+    "ResultBatch",
+    "ResultStatus",
+    "Consistency",
+    "Plan",
+    "Segment",
+    "SnapshotViolationError",
+    "execute",
+    "plan_batch",
+    "KVStore",
+    "Session",
+    "Ticket",
+]

@@ -1,0 +1,275 @@
+"""The ``KVStore`` facade: mixed-operation ticks over any dictionary backend.
+
+This is the primary public surface of the library for serving-style use:
+callers hand the store whole :class:`~repro.api.ops.OpBatch` ticks —
+arbitrary mixes of insert / delete / lookup / count / range rows — and get
+back request-ordered :class:`~repro.api.ops.ResultBatch` answers, while the
+planner of :mod:`repro.api.planner` turns each tick into one
+bulk-synchronous pass over the backend (a :class:`~repro.core.lsm.GPULSM`
+by default; any :class:`~repro.scale.protocol.DictionaryProtocol` works,
+including :class:`~repro.scale.sharded.ShardedLSM` and the paper's
+baselines).
+
+The per-method batch surface of the backends (``insert`` / ``delete`` /
+``lookup`` / ``count`` / ``range_query`` / ``bulk_build``) remains fully
+supported — the facade forwards it — so existing callers keep working while
+mixed traffic moves to :meth:`KVStore.apply`.
+
+Sessions (:meth:`KVStore.session`) add *ticketing*: operations are enqueued
+one at a time, each enqueue returns a :class:`Ticket`, and
+:meth:`Session.commit` flushes the pending operations as one tick.  A
+ticket resolves to its operation's typed result after the commit — the
+deferred-batching pattern a front-end uses to coalesce many concurrent
+client requests into one device pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.api.ops import Op, OpBatch, OpCode, OpResult, ResultBatch
+from repro.api.planner import Consistency, execute
+from repro.core.lsm import GPULSM, LookupResult, RangeResult
+from repro.gpu.device import Device
+
+
+class KVStore:
+    """Dictionary facade serving mixed-operation batches in ticks.
+
+    Parameters
+    ----------
+    backend:
+        Any object satisfying the batch-dictionary protocol.  Defaults to a
+        fresh :class:`~repro.core.lsm.GPULSM` built from the remaining
+        constructor arguments.
+    consistency:
+        Default intra-tick ordering for :meth:`apply` (overridable per
+        call): :data:`Consistency.SNAPSHOT` — reads observe the pre-tick
+        state — or :data:`Consistency.STRICT` — strict arrival order.
+    batch_size / device / key_only:
+        Forwarded to the default backend; ignored when ``backend`` is
+        given.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import KVStore, OpBatch
+    >>> store = KVStore(batch_size=16)
+    >>> store.apply(OpBatch.inserts(np.arange(8), np.arange(8) * 10)).ok
+    True
+    >>> tick = OpBatch.concat([
+    ...     OpBatch.deletes(np.array([3])),
+    ...     OpBatch.lookups(np.array([3])),
+    ... ])
+    >>> bool(store.apply(tick).result(1).found)   # snapshot: pre-tick state
+    True
+    >>> bool(store.lookup(np.array([3])).found[0])  # after the tick
+    False
+    """
+
+    def __init__(
+        self,
+        backend=None,
+        consistency: Consistency = Consistency.SNAPSHOT,
+        batch_size: int = 1 << 16,
+        device: Optional[Device] = None,
+        key_only: bool = False,
+    ) -> None:
+        if backend is None:
+            backend = GPULSM(
+                batch_size=batch_size, device=device, key_only=key_only
+            )
+        self.backend = backend
+        self.consistency = Consistency(consistency)
+        #: Number of ticks applied through this facade.
+        self.ticks = 0
+
+    # ------------------------------------------------------------------ #
+    # The mixed-operation surface
+    # ------------------------------------------------------------------ #
+    def apply(
+        self, batch: OpBatch, consistency: Optional[Consistency] = None
+    ) -> ResultBatch:
+        """Apply one mixed batch as a single tick.
+
+        Returns the per-operation results in request order; operations the
+        backend cannot serve carry per-op ``UnsupportedOperationError``
+        results instead of failing the tick.
+        """
+        if not isinstance(batch, OpBatch):
+            raise TypeError(
+                f"apply expects an OpBatch, got {type(batch).__name__}; "
+                "build one with OpBatch.from_ops / the columnar builders"
+            )
+        mode = self.consistency if consistency is None else Consistency(consistency)
+        result = execute(batch, self.backend, consistency=mode)
+        self.ticks += 1
+        return result
+
+    def session(self) -> "Session":
+        """A new ticketing session over this store (one tick per commit)."""
+        return Session(self)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def supported_operations(self) -> frozenset:
+        """The backend's supported operation set (its Table I row)."""
+        probe = getattr(self.backend, "supported_operations", None)
+        if probe is None:
+            from repro.scale.protocol import supports
+
+            return frozenset(
+                op
+                for op in (
+                    "bulk_build",
+                    "insert",
+                    "delete",
+                    "lookup",
+                    "count",
+                    "range_query",
+                )
+                if supports(self.backend, op)
+            )
+        return frozenset(probe())
+
+    @property
+    def epoch(self):
+        """The backend's structural epoch (``None`` for epoch-less
+        backends)."""
+        return getattr(self.backend, "epoch", None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"KVStore(backend={type(self.backend).__name__}, "
+            f"consistency={self.consistency.value}, ticks={self.ticks})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Legacy per-method surface (forwarded; still fully supported)
+    # ------------------------------------------------------------------ #
+    def bulk_build(
+        self, keys: np.ndarray, values: Optional[np.ndarray] = None
+    ) -> None:
+        self.backend.bulk_build(keys, values)
+
+    def insert(self, keys: np.ndarray, values: Optional[np.ndarray] = None) -> None:
+        if values is None:
+            self.backend.insert(keys)
+        else:
+            self.backend.insert(keys, values)
+
+    def delete(self, keys: np.ndarray) -> None:
+        self.backend.delete(keys)
+
+    def lookup(self, query_keys: np.ndarray) -> LookupResult:
+        return self.backend.lookup(query_keys)
+
+    def count(self, k1: np.ndarray, k2: np.ndarray) -> np.ndarray:
+        return self.backend.count(k1, k2)
+
+    def range_query(self, k1: np.ndarray, k2: np.ndarray) -> RangeResult:
+        return self.backend.range_query(k1, k2)
+
+
+@dataclass
+class Ticket:
+    """Handle for one enqueued operation of a :class:`Session`.
+
+    ``tick`` is the session-local sequence number of the commit the
+    operation will ride in; ``row`` its position inside that tick.  The
+    result becomes available once that commit has run.
+    """
+
+    session: "Session"
+    tick: int
+    row: int
+
+    @property
+    def committed(self) -> bool:
+        return self.tick < len(self.session._committed)
+
+    def result(self) -> OpResult:
+        """The operation's typed result (after its tick committed)."""
+        if not self.committed:
+            raise RuntimeError(
+                f"ticket (tick {self.tick}, row {self.row}) is not committed "
+                "yet; call Session.commit() first"
+            )
+        return self.session._committed[self.tick].result(self.row)
+
+
+class Session:
+    """Deferred mixed-operation batching with per-op tickets.
+
+    Enqueue operations one at a time (each returns a :class:`Ticket`);
+    :meth:`commit` flushes everything pending as **one tick** through
+    :meth:`KVStore.apply`.  Under the store's default snapshot consistency
+    every read of the tick observes the state as of the commit, before any
+    of the tick's own writes — the batch analogue of a consistent read
+    transaction.
+    """
+
+    def __init__(self, store: KVStore) -> None:
+        self.store = store
+        self._pending: List[Op] = []
+        self._committed: List[ResultBatch] = []
+
+    # ------------------------------------------------------------------ #
+    # Enqueue
+    # ------------------------------------------------------------------ #
+    def add(self, op: Op) -> Ticket:
+        """Enqueue one operation; returns its ticket."""
+        ticket = Ticket(
+            session=self, tick=len(self._committed), row=len(self._pending)
+        )
+        self._pending.append(op)
+        return ticket
+
+    def extend(self, batch: OpBatch) -> List[Ticket]:
+        """Enqueue every row of an already-columnar batch."""
+        return [self.add(op) for op in batch]
+
+    def insert(self, key: int, value: int = 0) -> Ticket:
+        return self.add(Op(OpCode.INSERT, key, value=value))
+
+    def delete(self, key: int) -> Ticket:
+        return self.add(Op(OpCode.DELETE, key))
+
+    def lookup(self, key: int) -> Ticket:
+        return self.add(Op(OpCode.LOOKUP, key))
+
+    def count(self, k1: int, k2: int) -> Ticket:
+        return self.add(Op(OpCode.COUNT, k1, range_end=k2))
+
+    def range_query(self, k1: int, k2: int) -> Ticket:
+        return self.add(Op(OpCode.RANGE, k1, range_end=k2))
+
+    # ------------------------------------------------------------------ #
+    # Commit
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def ticks_committed(self) -> int:
+        return len(self._committed)
+
+    def commit(self, consistency: Optional[Consistency] = None) -> ResultBatch:
+        """Flush the pending operations as one tick; resolves their
+        tickets.  An empty commit is a no-op tick (still recorded, so
+        ticket arithmetic stays aligned).
+
+        A failing tick (a backend rejection, a snapshot violation) leaves
+        the session unchanged: the operations stay pending, their tickets
+        stay valid, and the commit can simply be retried.
+        """
+        batch = OpBatch.from_ops(self._pending)
+        result = self.store.apply(batch, consistency=consistency)
+        self._pending = []
+        self._committed.append(result)
+        return result

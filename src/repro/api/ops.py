@@ -1,0 +1,424 @@
+"""Typed mixed-operation request batches and their result layout.
+
+A real serving front-end receives *mixed* traffic — insertions, deletions,
+lookups and ordered queries interleaved in one stream — while the paper's
+structures expose homogeneous batched entry points.  :class:`OpBatch` is
+the bridge: a **columnar** request batch (opcode, key, value and range-end
+columns, one row per operation) that the planner of
+:mod:`repro.api.planner` can route with the same stable multisplit the
+paper uses to route an update batch.
+
+The columnar layout is deliberate: it is exactly the struct-of-arrays form
+a GPU kernel wants, builders validate once at construction instead of per
+dispatch, and concatenating ticks (:meth:`OpBatch.concat`) is a column-wise
+``np.concatenate`` rather than a Python-object merge.
+
+Results come back as a :class:`ResultBatch` in **request order**: one
+status row per operation plus the per-kind payload columns (lookup hits,
+count totals, and the paper's flat offsets-plus-buffer layout for range
+results).  Operations a backend cannot serve are reported per-op via
+:class:`~repro.scale.protocol.UnsupportedOperationError` *results* — a
+mixed batch never throws wholesale because one segment is unsupported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.scale.protocol import UnsupportedOperationError
+
+
+class OpCode(IntEnum):
+    """Operation selector of one :class:`OpBatch` row.
+
+    The numeric order groups the two update kinds below the three query
+    kinds, so "is this an update?" is a single compare on the opcode
+    column.
+    """
+
+    INSERT = 0
+    DELETE = 1
+    LOOKUP = 2
+    COUNT = 3
+    RANGE = 4
+
+    @property
+    def is_update(self) -> bool:
+        """True for the state-changing opcodes (INSERT / DELETE)."""
+        return self <= OpCode.DELETE
+
+    @property
+    def is_query(self) -> bool:
+        """True for the read-only opcodes (LOOKUP / COUNT / RANGE)."""
+        return self >= OpCode.LOOKUP
+
+
+#: Highest opcode value plus one (the multisplit bucket bound).
+NUM_OPCODES = len(OpCode)
+
+#: Opcodes whose rows use the ``range_ends`` column.
+RANGE_OPCODES = (OpCode.COUNT, OpCode.RANGE)
+
+
+@dataclass(frozen=True)
+class Op:
+    """One logical operation (the row form of an :class:`OpBatch` entry).
+
+    ``value`` is meaningful for INSERT only; ``range_end`` closes the
+    inclusive key interval ``[key, range_end]`` of COUNT and RANGE.
+    """
+
+    code: OpCode
+    key: int
+    value: int = 0
+    range_end: Optional[int] = None
+
+    @staticmethod
+    def insert(key: int, value: int = 0) -> "Op":
+        return Op(OpCode.INSERT, key, value=value)
+
+    @staticmethod
+    def delete(key: int) -> "Op":
+        return Op(OpCode.DELETE, key)
+
+    @staticmethod
+    def lookup(key: int) -> "Op":
+        return Op(OpCode.LOOKUP, key)
+
+    @staticmethod
+    def count(k1: int, k2: int) -> "Op":
+        return Op(OpCode.COUNT, k1, range_end=k2)
+
+    @staticmethod
+    def range_query(k1: int, k2: int) -> "Op":
+        return Op(OpCode.RANGE, k1, range_end=k2)
+
+
+def _as_key_column(values: object, what: str) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"{what} must be one-dimensional")
+    if arr.dtype.kind not in "ui":
+        raise ValueError(f"{what} must be an integer array, got {arr.dtype}")
+    if arr.dtype.kind == "i" and arr.size and int(arr.min()) < 0:
+        raise ValueError(f"{what} must be non-negative")
+    return arr.astype(np.uint64)
+
+
+@dataclass(frozen=True)
+class OpBatch:
+    """A columnar batch of mixed dictionary operations.
+
+    Attributes
+    ----------
+    opcodes:
+        ``uint8`` :class:`OpCode` per row.
+    keys:
+        Operation key per row (the lower bound ``k1`` for COUNT / RANGE).
+    values:
+        Insert value per row (zero for every other opcode).
+    range_ends:
+        Inclusive upper bound ``k2`` for COUNT / RANGE rows (zero
+        elsewhere).
+
+    Rows are in *arrival order*; the planner decides how that order is
+    honoured (see ``consistency`` in :mod:`repro.api.planner`).
+    """
+
+    opcodes: np.ndarray
+    keys: np.ndarray
+    values: np.ndarray
+    range_ends: np.ndarray
+
+    def __post_init__(self) -> None:
+        opcodes = np.asarray(self.opcodes)
+        if opcodes.ndim != 1:
+            raise ValueError("opcodes must be one-dimensional")
+        if opcodes.dtype.kind not in "ui":
+            raise ValueError(
+                f"opcodes must be an integer array, got {opcodes.dtype}"
+            )
+        if opcodes.size and (
+            int(opcodes.min()) < 0 or int(opcodes.max()) >= NUM_OPCODES
+        ):
+            raise ValueError(f"opcodes must lie in [0, {NUM_OPCODES})")
+        object.__setattr__(self, "opcodes", opcodes.astype(np.uint8))
+        for name in ("keys", "values", "range_ends"):
+            col = _as_key_column(getattr(self, name), name)
+            if col.shape != opcodes.shape:
+                raise ValueError(f"{name} must align with opcodes")
+            object.__setattr__(self, name, col)
+        bad = self._range_mask() & (self.range_ends < self.keys)
+        if np.any(bad):
+            first = int(np.flatnonzero(bad)[0])
+            raise ValueError(
+                f"row {first}: COUNT/RANGE requires key <= range_end "
+                f"({int(self.keys[first])} > {int(self.range_ends[first])})"
+            )
+
+    def _range_mask(self) -> np.ndarray:
+        return (self.opcodes == OpCode.COUNT) | (self.opcodes == OpCode.RANGE)
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_ops(cls, ops: Iterable[Op]) -> "OpBatch":
+        """Build the columnar batch out of row-form :class:`Op` objects."""
+        rows = list(ops)
+        n = len(rows)
+        opcodes = np.empty(n, dtype=np.uint8)
+        keys = np.empty(n, dtype=np.uint64)
+        values = np.zeros(n, dtype=np.uint64)
+        range_ends = np.zeros(n, dtype=np.uint64)
+        for i, op in enumerate(rows):
+            code = OpCode(op.code)
+            opcodes[i] = code
+            keys[i] = op.key
+            if code is OpCode.INSERT:
+                values[i] = op.value
+            if code in RANGE_OPCODES:
+                if op.range_end is None:
+                    raise ValueError(f"row {i}: {code.name} requires range_end")
+                range_ends[i] = op.range_end
+        return cls(opcodes, keys, values, range_ends)
+
+    @classmethod
+    def concat(cls, batches: Sequence["OpBatch"]) -> "OpBatch":
+        """Concatenate batches column-wise, preserving arrival order."""
+        batches = list(batches)
+        if not batches:
+            return cls.empty()
+        return cls(
+            np.concatenate([b.opcodes for b in batches]),
+            np.concatenate([b.keys for b in batches]),
+            np.concatenate([b.values for b in batches]),
+            np.concatenate([b.range_ends for b in batches]),
+        )
+
+    @classmethod
+    def empty(cls) -> "OpBatch":
+        return cls(
+            np.zeros(0, dtype=np.uint8),
+            np.zeros(0, dtype=np.uint64),
+            np.zeros(0, dtype=np.uint64),
+            np.zeros(0, dtype=np.uint64),
+        )
+
+    @classmethod
+    def _uniform(
+        cls,
+        code: OpCode,
+        keys: np.ndarray,
+        values: Optional[np.ndarray] = None,
+        range_ends: Optional[np.ndarray] = None,
+    ) -> "OpBatch":
+        keys = _as_key_column(keys, "keys")
+        n = keys.size
+        opcodes = np.full(n, int(code), dtype=np.uint8)
+        vals = (
+            np.zeros(n, dtype=np.uint64)
+            if values is None
+            else _as_key_column(values, "values")
+        )
+        ends = (
+            np.zeros(n, dtype=np.uint64)
+            if range_ends is None
+            else _as_key_column(range_ends, "range_ends")
+        )
+        return cls(opcodes, keys, vals, ends)
+
+    @classmethod
+    def inserts(
+        cls, keys: np.ndarray, values: Optional[np.ndarray] = None
+    ) -> "OpBatch":
+        """A homogeneous INSERT batch (values default to zero — key-only)."""
+        return cls._uniform(OpCode.INSERT, keys, values=values)
+
+    @classmethod
+    def deletes(cls, keys: np.ndarray) -> "OpBatch":
+        return cls._uniform(OpCode.DELETE, keys)
+
+    @classmethod
+    def lookups(cls, keys: np.ndarray) -> "OpBatch":
+        return cls._uniform(OpCode.LOOKUP, keys)
+
+    @classmethod
+    def counts(cls, k1: np.ndarray, k2: np.ndarray) -> "OpBatch":
+        return cls._uniform(OpCode.COUNT, k1, range_ends=k2)
+
+    @classmethod
+    def ranges(cls, k1: np.ndarray, k2: np.ndarray) -> "OpBatch":
+        return cls._uniform(OpCode.RANGE, k1, range_ends=k2)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return int(self.opcodes.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def update_mask(self) -> np.ndarray:
+        """Boolean mask of the state-changing rows."""
+        return self.opcodes <= OpCode.DELETE
+
+    @property
+    def num_updates(self) -> int:
+        return int(np.count_nonzero(self.update_mask))
+
+    @property
+    def num_queries(self) -> int:
+        return self.size - self.num_updates
+
+    def counts_by_opcode(self) -> Dict[OpCode, int]:
+        """Number of rows per opcode (the mix of the batch)."""
+        tally = np.bincount(self.opcodes, minlength=NUM_OPCODES)
+        return {code: int(tally[code]) for code in OpCode}
+
+    def op(self, i: int) -> Op:
+        """Row ``i`` back in :class:`Op` form."""
+        code = OpCode(int(self.opcodes[i]))
+        return Op(
+            code=code,
+            key=int(self.keys[i]),
+            value=int(self.values[i]),
+            range_end=int(self.range_ends[i]) if code in RANGE_OPCODES else None,
+        )
+
+    def __iter__(self) -> Iterator[Op]:
+        return (self.op(i) for i in range(self.size))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mix = {c.name: n for c, n in self.counts_by_opcode().items() if n}
+        return f"OpBatch(size={self.size}, mix={mix})"
+
+
+class ResultStatus(IntEnum):
+    """Per-operation outcome of one executed batch."""
+
+    OK = 0
+    UNSUPPORTED = 1
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """One operation's answer, extracted from a :class:`ResultBatch`.
+
+    Exactly the fields matching the opcode are populated: ``found`` /
+    ``value`` for LOOKUP, ``count`` for COUNT (and, conveniently, the
+    number of hits for RANGE), ``keys`` / ``values`` for RANGE.
+    """
+
+    op: Op
+    status: ResultStatus
+    error: Optional[UnsupportedOperationError] = None
+    found: Optional[bool] = None
+    value: Optional[int] = None
+    count: Optional[int] = None
+    keys: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResultStatus.OK
+
+
+@dataclass(frozen=True)
+class ResultBatch:
+    """Per-operation results of one executed :class:`OpBatch`, in request
+    order.
+
+    The layout mirrors the request's columnar form: one status per row,
+    plus payload columns that are only meaningful for the matching opcode
+    (lookup hits and values, count totals) and the paper's flat layout for
+    range results — row ``i``'s pairs live at
+    ``range_keys[range_offsets[i]:range_offsets[i+1]]``.  ``values`` and
+    ``range_values`` are ``None`` when the backend stores no values
+    (key-only dictionaries), matching the per-method surface.
+    """
+
+    request: OpBatch
+    statuses: np.ndarray
+    found: np.ndarray
+    values: Optional[np.ndarray]
+    counts: np.ndarray
+    range_offsets: np.ndarray
+    range_keys: np.ndarray
+    range_values: Optional[np.ndarray]
+    errors: Dict[int, UnsupportedOperationError] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return int(self.statuses.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def ok(self) -> bool:
+        """True when every operation succeeded."""
+        return bool(np.all(self.statuses == ResultStatus.OK))
+
+    def raise_for_status(self) -> None:
+        """Raise the first per-op error, if any operation failed."""
+        bad = np.flatnonzero(self.statuses != ResultStatus.OK)
+        if bad.size:
+            first = int(bad[0])
+            err = self.errors.get(first)
+            if err is not None:
+                raise err
+            raise UnsupportedOperationError(
+                f"operation {first} ({OpCode(int(self.request.opcodes[first])).name}) "
+                "was not supported by the backend"
+            )
+
+    def result(self, i: int) -> OpResult:
+        """Operation ``i``'s answer as a typed :class:`OpResult`."""
+        if not 0 <= i < self.size:
+            raise IndexError(f"result index {i} out of range for size {self.size}")
+        op = self.request.op(i)
+        status = ResultStatus(int(self.statuses[i]))
+        if status is not ResultStatus.OK:
+            return OpResult(op=op, status=status, error=self.errors.get(i))
+        if op.code is OpCode.LOOKUP:
+            value = None
+            if self.found[i] and self.values is not None:
+                value = int(self.values[i])
+            return OpResult(
+                op=op, status=status, found=bool(self.found[i]), value=value
+            )
+        if op.code is OpCode.COUNT:
+            return OpResult(op=op, status=status, count=int(self.counts[i]))
+        if op.code is OpCode.RANGE:
+            lo, hi = int(self.range_offsets[i]), int(self.range_offsets[i + 1])
+            return OpResult(
+                op=op,
+                status=status,
+                count=hi - lo,
+                keys=self.range_keys[lo:hi],
+                values=(
+                    None
+                    if self.range_values is None
+                    else self.range_values[lo:hi]
+                ),
+            )
+        return OpResult(op=op, status=status)  # INSERT / DELETE: ack only
+
+    def __iter__(self) -> Iterator[OpResult]:
+        return (self.result(i) for i in range(self.size))
+
+    def query_results(self) -> List[OpResult]:
+        """The query rows' answers only, still in request order."""
+        return [
+            self.result(i)
+            for i in range(self.size)
+            if OpCode(int(self.request.opcodes[i])).is_query
+        ]

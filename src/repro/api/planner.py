@@ -1,0 +1,495 @@
+"""Planner and executor for mixed-operation batches.
+
+One tick of serving traffic is an :class:`~repro.api.ops.OpBatch` holding
+an arbitrary interleaving of the five dictionary operations.  The planner
+routes it the way the paper's update path routes a batch: **one stable
+multisplit** over the opcode column (reusing
+:func:`repro.primitives.multisplit.multisplit_keys`) partitions the rows
+into contiguous homogeneous segments while preserving arrival order inside
+each segment.  The executor then drives every segment through the matching
+bulk entry point of any :class:`~repro.scale.protocol.DictionaryProtocol`
+backend and scatters the per-op answers back into **request order**.
+
+Two intra-batch orderings are offered via the ``consistency`` knob:
+
+:data:`Consistency.SNAPSHOT` (default)
+    Queries in the tick observe the **pre-tick state**: every read executes
+    against the backend as it stood when the tick began, and the tick's
+    updates are folded into one canonical paper batch (Section III-A rules
+    4 and 6 — a deletion dominates the whole batch, the first insertion of
+    a key wins) applied afterwards.  The executor pins the backend's
+    structural epoch (the per-shard epoch tuple on a sharded backend)
+    around the reads; if a cascade runs mid-read the pin breaks and
+    :class:`SnapshotViolationError` is raised instead of returning torn
+    results.
+
+:data:`Consistency.STRICT`
+    Strict arrival order: operation *i* observes every update at positions
+    ``< i`` in the batch.  The batch is cut at every update/query boundary;
+    each maximal run of queries is multisplit by opcode and served in one
+    pass (queries commute), and each maximal run of updates is collapsed to
+    its last operation per key (arrival order's canonical form) and applied
+    as one chunked bulk update.
+
+Unsupported segments never fail the batch: each affected row gets an
+:class:`~repro.scale.protocol.UnsupportedOperationError` *result* (the
+dashes of the paper's Table I, per operation), and the rest of the tick
+proceeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.ops import (
+    OpBatch,
+    OpCode,
+    ResultBatch,
+    ResultStatus,
+)
+from repro.gpu.device import Device, get_default_device
+from repro.primitives.multisplit import multisplit_keys
+from repro.scale.protocol import UnsupportedOperationError, supports
+
+
+class Consistency(str, Enum):
+    """Intra-batch ordering of one tick (see module docstring)."""
+
+    SNAPSHOT = "snapshot"
+    STRICT = "strict"
+
+
+class SnapshotViolationError(RuntimeError):
+    """A backend's structure mutated while a tick's pinned reads ran.
+
+    Raised by the executor when the epoch pinned at read time no longer
+    matches the backend's epoch after the reads — i.e. a cascade
+    interleaved with the snapshot.  Results are discarded rather than
+    returned torn.
+    """
+
+
+#: Segment kinds, in the order the snapshot plan executes them.
+_QUERY_KINDS = {
+    OpCode.LOOKUP: "lookup",
+    OpCode.COUNT: "count",
+    OpCode.RANGE: "range",
+}
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous homogeneous slice of the plan.
+
+    ``indices`` are positions into the *request* batch, in arrival order
+    (the stable multisplit guarantees it); ``kind`` is ``"update"`` or one
+    of ``"lookup"`` / ``"count"`` / ``"range"``.
+    """
+
+    kind: str
+    indices: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.size)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Ordered segments one executor pass runs over a backend."""
+
+    consistency: Consistency
+    segments: Tuple[Segment, ...]
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+
+def _split_by_opcode(
+    batch: OpBatch,
+    positions: np.ndarray,
+    group_of: Dict[int, int],
+    num_groups: int,
+    device: Device,
+    kernel_name: str,
+) -> List[np.ndarray]:
+    """Stable multisplit of request positions by an opcode grouping.
+
+    Returns one (possibly empty) position array per group, each in arrival
+    order — the exact routing step the paper's multisplit performs for an
+    update batch, applied to the opcode column instead of the shard id.
+    """
+    table = np.zeros(len(OpCode), dtype=np.int64)
+    for code, group in group_of.items():
+        table[code] = group
+    routed, offsets = multisplit_keys(
+        positions,
+        bucket_of=lambda pos: table[batch.opcodes[pos]],
+        num_buckets=num_groups,
+        device=device,
+        kernel_name=kernel_name,
+    )
+    return [
+        routed[int(offsets[g]) : int(offsets[g + 1])] for g in range(num_groups)
+    ]
+
+
+def plan_batch(
+    batch: OpBatch,
+    consistency: Consistency = Consistency.SNAPSHOT,
+    device: Optional[Device] = None,
+) -> Plan:
+    """Turn one mixed batch into an ordered segment plan.
+
+    Snapshot mode emits the query segments first (they read the pre-tick
+    state) and one combined update segment last; strict mode emits
+    alternating query/update segments following the batch's own arrival
+    runs.
+    """
+    consistency = Consistency(consistency)
+    device = device or get_default_device()
+    n = batch.size
+    segments: List[Segment] = []
+    if n == 0:
+        return Plan(consistency=consistency, segments=())
+
+    positions = np.arange(n, dtype=np.int64)
+    if consistency is Consistency.SNAPSHOT:
+        # One stable multisplit: updates → group 0, one group per query
+        # opcode.  Queries run first against the pre-tick snapshot.
+        groups = _split_by_opcode(
+            batch,
+            positions,
+            group_of={
+                OpCode.INSERT: 0,
+                OpCode.DELETE: 0,
+                OpCode.LOOKUP: 1,
+                OpCode.COUNT: 2,
+                OpCode.RANGE: 3,
+            },
+            num_groups=4,
+            device=device,
+            kernel_name="api.plan.multisplit",
+        )
+        for kind, idx in zip(("lookup", "count", "range"), groups[1:]):
+            if idx.size:
+                segments.append(Segment(kind=kind, indices=idx))
+        if groups[0].size:
+            segments.append(Segment(kind="update", indices=groups[0]))
+        return Plan(consistency=consistency, segments=tuple(segments))
+
+    # Strict arrival order: cut the batch at every update/query boundary,
+    # then multisplit each query run by opcode (reads commute within a run).
+    is_update = batch.update_mask
+    run_starts = np.flatnonzero(
+        np.concatenate(([True], is_update[1:] != is_update[:-1]))
+    )
+    run_bounds = np.concatenate((run_starts, [n]))
+    for r in range(run_starts.size):
+        lo, hi = int(run_bounds[r]), int(run_bounds[r + 1])
+        run = positions[lo:hi]
+        if is_update[lo]:
+            segments.append(Segment(kind="update", indices=run))
+            continue
+        query_groups = _split_by_opcode(
+            batch,
+            run,
+            group_of={OpCode.LOOKUP: 0, OpCode.COUNT: 1, OpCode.RANGE: 2},
+            num_groups=3,
+            device=device,
+            kernel_name="api.plan.multisplit",
+        )
+        for kind, idx in zip(("lookup", "count", "range"), query_groups):
+            if idx.size:
+                segments.append(Segment(kind=kind, indices=idx))
+    return Plan(consistency=consistency, segments=tuple(segments))
+
+
+# ---------------------------------------------------------------------- #
+# Epoch pinning
+# ---------------------------------------------------------------------- #
+def _read_epoch(backend) -> Optional[Tuple]:
+    """The backend's structural epoch — the per-shard tuple when sharded,
+    the scalar counter otherwise, ``None`` for epoch-less backends."""
+    shard_epochs = getattr(backend, "shard_epochs", None)
+    if shard_epochs is not None:
+        return ("shards", tuple(shard_epochs))
+    epoch = getattr(backend, "epoch", None)
+    if epoch is None:
+        return None
+    return ("epoch", int(epoch))
+
+
+def _check_pin(backend, pinned: Optional[Tuple]) -> None:
+    if pinned is not None and _read_epoch(backend) != pinned:
+        raise SnapshotViolationError(
+            "the backend's level set changed while a tick's pinned reads "
+            f"were running (pinned {pinned}, now {_read_epoch(backend)}); "
+            "snapshot-consistent results cannot be returned"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Executor
+# ---------------------------------------------------------------------- #
+class _ResultAccumulator:
+    """Mutable request-order result columns, frozen into a ResultBatch."""
+
+    def __init__(self, batch: OpBatch) -> None:
+        n = batch.size
+        self.batch = batch
+        self.statuses = np.zeros(n, dtype=np.uint8)
+        self.found = np.zeros(n, dtype=bool)
+        #: Lookup-value column, allocated lazily on the first backend
+        #: result that carries values; stays ``None`` for key-only
+        #: backends so the facade matches the per-method surface.
+        self.values: Optional[np.ndarray] = None
+        self.counts = np.zeros(n, dtype=np.int64)
+        self.range_widths = np.zeros(n, dtype=np.int64)
+        #: Per-range-segment payloads: (indices, flat keys, flat values or
+        #: None, per-op offsets) scattered into request order at freeze
+        #: time.
+        self.range_chunks: List[
+            Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], np.ndarray]
+        ] = []
+        self.errors: Dict[int, UnsupportedOperationError] = {}
+
+    def set_lookup_values(self, indices: np.ndarray, values: np.ndarray) -> None:
+        if self.values is None:
+            self.values = np.zeros(self.batch.size, dtype=np.uint64)
+        self.values[indices] = values
+
+    def mark_unsupported(self, indices: np.ndarray, error: UnsupportedOperationError) -> None:
+        self.statuses[indices] = ResultStatus.UNSUPPORTED
+        for i in indices:
+            self.errors[int(i)] = error
+
+    def freeze(self) -> ResultBatch:
+        offsets = np.zeros(self.batch.size + 1, dtype=np.int64)
+        np.cumsum(self.range_widths, out=offsets[1:])
+        total = int(offsets[-1])
+        range_keys = np.zeros(total, dtype=np.uint64)
+        range_values = (
+            np.zeros(total, dtype=np.uint64)
+            if any(values is not None for _, _, values, _ in self.range_chunks)
+            else None
+        )
+        for idx, keys, values, chunk_offsets in self.range_chunks:
+            widths = self.range_widths[idx]
+            chunk_total = int(widths.sum())
+            if chunk_total == 0:
+                continue
+            within = np.arange(chunk_total) - np.repeat(
+                np.cumsum(widths) - widths, widths
+            )
+            dest = np.repeat(offsets[idx], widths) + within
+            src = np.repeat(chunk_offsets[:-1], widths) + within
+            range_keys[dest] = keys[src]
+            if values is not None and range_values is not None:
+                range_values[dest] = values[src]
+        return ResultBatch(
+            request=self.batch,
+            statuses=self.statuses,
+            found=self.found,
+            values=self.values,
+            counts=self.counts,
+            range_offsets=offsets,
+            range_keys=range_keys,
+            range_values=range_values,
+            errors=self.errors,
+        )
+
+
+def _canonical_updates(
+    batch: OpBatch, indices: np.ndarray, arrival_order: bool
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse an update segment to one surviving operation per key.
+
+    Paper mode (``arrival_order=False``, the snapshot tick): a deletion
+    anywhere in the segment dominates its key, and among insertions the
+    first wins (Section III-A rules 4 and 6).  Arrival mode (strict): the
+    *last* operation of each key wins, whatever it is.  Either way the
+    result has distinct keys, so it can be applied in backend-sized chunks
+    in any order.
+
+    Returns ``(is_delete, keys, values)`` columns of the survivors, in
+    segment arrival order.
+    """
+    codes = batch.opcodes[indices]
+    keys = batch.keys[indices]
+    values = batch.values[indices]
+    is_delete = codes == OpCode.DELETE
+
+    if arrival_order:
+        # Last occurrence per key: first occurrence in the reversed column.
+        _, first_in_reversed = np.unique(keys[::-1], return_index=True)
+        survivors = np.sort(keys.size - 1 - first_in_reversed)
+        return is_delete[survivors], keys[survivors], values[survivors]
+
+    deleted = np.unique(keys[is_delete])
+    # First insertion per key, minus the keys the segment deletes.
+    ins_pos = np.flatnonzero(~is_delete)
+    _, first_idx = np.unique(keys[ins_pos], return_index=True)
+    ins_pos = ins_pos[np.sort(first_idx)]
+    ins_pos = ins_pos[~np.isin(keys[ins_pos], deleted)]
+    out_is_delete = np.concatenate(
+        (np.ones(deleted.size, dtype=bool), np.zeros(ins_pos.size, dtype=bool))
+    )
+    out_keys = np.concatenate((deleted, keys[ins_pos]))
+    out_values = np.concatenate(
+        (np.zeros(deleted.size, dtype=values.dtype), values[ins_pos])
+    )
+    return out_is_delete, out_keys, out_values
+
+
+def _apply_update_segment(
+    backend,
+    batch: OpBatch,
+    segment: Segment,
+    acc: _ResultAccumulator,
+    arrival_order: bool,
+    device: Device,
+) -> None:
+    """Apply one update segment through the backend's bulk update path."""
+    indices = segment.indices
+    codes = batch.opcodes[indices]
+    key_only = bool(getattr(backend, "key_only", False))
+
+    # Per-kind support gate: unsupported rows become per-op error results
+    # and the supported kind still applies (per-op failure, not batch).
+    kept = np.ones(indices.size, dtype=bool)
+    for code, name in ((OpCode.INSERT, "insert"), (OpCode.DELETE, "delete")):
+        rows = codes == code
+        if np.any(rows) and not supports(backend, name):
+            acc.mark_unsupported(
+                indices[rows],
+                UnsupportedOperationError(
+                    f"the backend does not support {name.upper()} operations"
+                ),
+            )
+            kept &= ~rows
+    indices = indices[kept]
+    if indices.size == 0:
+        return
+
+    is_delete, keys, values = _canonical_updates(batch, indices, arrival_order)
+    # On the device the canonicalisation is one key-sorted pass plus a
+    # compaction of the survivors (the same shape as the sharded router's
+    # dedup); charge it so the mixed path is not simulated for free.
+    payload = int(indices.size) * (batch.keys.dtype.itemsize + batch.values.dtype.itemsize)
+    device.record_kernel(
+        "api.update.canonicalise",
+        coalesced_read_bytes=2 * payload,
+        coalesced_write_bytes=payload + int(keys.size) * 16,
+        work_items=int(indices.size),
+    )
+    if keys.size == 0:
+        return
+
+    # Distinct keys commute, so backend-batch-sized chunks are safe.
+    chunk = int(getattr(backend, "batch_size", 0)) or keys.size
+    has_update = hasattr(backend, "update")
+    for start in range(0, keys.size, chunk):
+        stop = min(start + chunk, keys.size)
+        dels = keys[start:stop][is_delete[start:stop]]
+        ins = keys[start:stop][~is_delete[start:stop]]
+        ins_values = values[start:stop][~is_delete[start:stop]]
+        if key_only:
+            ins_values = None
+        if has_update:
+            backend.update(
+                insert_keys=ins if ins.size else None,
+                insert_values=ins_values if ins.size else None,
+                delete_keys=dels if dels.size else None,
+            )
+            continue
+        # No mixed entry point: the canonical segment has one op per key,
+        # so separate delete and insert calls cannot disagree.
+        if dels.size:
+            backend.delete(dels)
+        if ins.size:
+            if key_only:
+                backend.insert(ins)
+            else:
+                backend.insert(ins, ins_values)
+
+
+def _run_query_segment(
+    backend, batch: OpBatch, segment: Segment, acc: _ResultAccumulator
+) -> None:
+    """Serve one homogeneous query segment in a single bulk call."""
+    idx = segment.indices
+    operation = {"lookup": "lookup", "count": "count", "range": "range_query"}[
+        segment.kind
+    ]
+    if not supports(backend, operation):
+        acc.mark_unsupported(
+            idx,
+            UnsupportedOperationError(
+                f"the backend does not support {segment.kind.upper()} queries"
+            ),
+        )
+        return
+    if segment.kind == "lookup":
+        res = backend.lookup(batch.keys[idx])
+        acc.found[idx] = res.found
+        if res.values is not None:
+            acc.set_lookup_values(idx, res.values)
+    elif segment.kind == "count":
+        acc.counts[idx] = backend.count(batch.keys[idx], batch.range_ends[idx])
+    else:
+        rr = backend.range_query(batch.keys[idx], batch.range_ends[idx])
+        acc.range_widths[idx] = rr.counts
+        acc.counts[idx] = rr.counts
+        acc.range_chunks.append((idx, rr.keys, rr.values, rr.offsets))
+
+
+def execute(
+    batch: OpBatch,
+    backend,
+    consistency: Consistency = Consistency.SNAPSHOT,
+    device: Optional[Device] = None,
+) -> ResultBatch:
+    """Run one mixed batch against a dictionary backend.
+
+    Plans the batch (one stable multisplit per tick in snapshot mode),
+    serves every segment through the backend's bulk entry points, and
+    returns the per-op answers in request order.  See the module docstring
+    for the two consistency modes and the epoch-pinning guarantee.
+    """
+    consistency = Consistency(consistency)
+    if device is None:
+        device = (
+            getattr(backend, "router_device", None)
+            or getattr(backend, "device", None)
+            or get_default_device()
+        )
+    plan = plan_batch(batch, consistency=consistency, device=device)
+    acc = _ResultAccumulator(batch)
+
+    pinned = None
+    for segment in plan.segments:
+        if segment.kind == "update":
+            # Reads of this tick (snapshot) or run (strict) are complete
+            # and must not have interleaved with any cascade.
+            _check_pin(backend, pinned)
+            pinned = None
+            _apply_update_segment(
+                backend,
+                batch,
+                segment,
+                acc,
+                arrival_order=consistency is Consistency.STRICT,
+                device=device,
+            )
+        else:
+            if pinned is None:
+                pinned = _read_epoch(backend)
+            _run_query_segment(backend, batch, segment, acc)
+    _check_pin(backend, pinned)
+    return acc.freeze()

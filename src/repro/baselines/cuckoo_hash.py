@@ -116,10 +116,19 @@ class CuckooHashTable:
         self._hash_b = np.zeros(0, dtype=np.uint64)
         self.num_elements = 0
         self.build_attempts = 0
+        #: Structural epoch: incremented by every successful (re)build —
+        #: bulk builds, insert rebuilds and delete rebuilds; pinned by the
+        #: mixed-operation executor around snapshot reads.
+        self.epoch = 0
 
     # ------------------------------------------------------------------ #
     # Build
     # ------------------------------------------------------------------ #
+    @classmethod
+    def supported_operations(cls) -> frozenset:
+        """The hash table's row of Table I — no ordered queries."""
+        return frozenset({"bulk_build", "insert", "delete", "lookup"})
+
     @property
     def table_size(self) -> int:
         """Number of slots in the main table."""
@@ -146,6 +155,7 @@ class CuckooHashTable:
                 self.build_attempts = attempt
                 if self._try_build(keys, values, table_size):
                     self.num_elements = int(n)
+                    self.epoch += 1
                     return
                 # Grow slightly on repeated failure, like CUDPP's fallback.
                 table_size = int(table_size * 1.05) + 1
@@ -347,6 +357,7 @@ class CuckooHashTable:
             self.bulk_build(old_keys[keep], old_values[keep])
         else:
             self._reset_empty()
+            self.epoch += 1
 
     # ------------------------------------------------------------------ #
     # Ordered queries (unsupported — the dashes of Table I)

@@ -22,7 +22,6 @@ elements and no cleanup; that is precisely the trade-off the paper explores.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
@@ -34,7 +33,6 @@ from repro.primitives.merge import merge_pairs, merge_keys
 from repro.primitives.radix_sort import radix_sort_keys, radix_sort_pairs
 from repro.primitives.scan import exclusive_scan
 from repro.primitives.search import lower_bound, upper_bound
-from repro.primitives.compact import segmented_compact
 
 
 class GPUSortedArray:
@@ -67,10 +65,21 @@ class GPUSortedArray:
         #: Sorted original keys (not encoded — the SA stores no tombstones).
         self.keys = np.zeros(0, dtype=self.key_dtype)
         self.values = None if key_only else np.zeros(0, dtype=self.value_dtype)
+        #: Structural epoch: incremented by every whole-array rebuild
+        #: (insert merge, delete compaction, bulk build); pinned by the
+        #: mixed-operation executor around snapshot reads.
+        self.epoch = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @classmethod
+    def supported_operations(cls) -> frozenset:
+        """The sorted array's row of Table I (everything the LSM offers)."""
+        return frozenset(
+            {"bulk_build", "insert", "delete", "lookup", "count", "range_query"}
+        )
+
     @property
     def num_elements(self) -> int:
         """Number of live elements in the array."""
@@ -117,6 +126,7 @@ class GPUSortedArray:
                 keys.astype(self.key_dtype), values, device=self.device
             )
             self.keys, self.values = self._dedup(sorted_keys, sorted_values)
+        self.epoch += 1
 
     def _dedup(
         self, sorted_keys: np.ndarray, sorted_values: Optional[np.ndarray]
@@ -189,6 +199,7 @@ class GPUSortedArray:
                     # The batch was the A side, so for duplicate keys the new
                     # value precedes — dedup keeps the new one (replacement).
                     self.keys, self.values = self._dedup(merged_k, merged_v)
+            self.epoch += 1
 
     def delete(self, keys: np.ndarray) -> None:
         """Delete a batch of keys.
@@ -222,6 +233,7 @@ class GPUSortedArray:
             self.keys = self.keys[keep]
             if self.values is not None:
                 self.values = self.values[keep]
+            self.epoch += 1
 
     # ------------------------------------------------------------------ #
     # Queries (single-level versions of the LSM's pipelines)

@@ -27,7 +27,7 @@ from repro.bench.runner import (
 )
 from repro.bench.workloads import WorkloadConfig, make_workload
 from repro.core.lsm import GPULSM
-from repro.gpu.spec import GPUSpec, K40C_SPEC
+from repro.gpu.spec import GPUSpec
 
 
 def _build_fragmented_lsm(
@@ -47,7 +47,6 @@ def _build_fragmented_lsm(
     """
     if not 0.0 <= stale_fraction < 1.0:
         raise ValueError("stale_fraction must be in [0, 1)")
-    total = batch_size * num_batches
     # Each deletion batch contributes b tombstones *and* makes b previously
     # inserted elements stale: 2b stale elements per deletion batch.
     delete_batches = int(round(stale_fraction * num_batches / 2.0))

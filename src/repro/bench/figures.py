@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.baselines.sorted_array import GPUSortedArray
 from repro.bench.runner import (
@@ -24,7 +23,7 @@ from repro.bench.runner import (
 )
 from repro.bench.workloads import WorkloadConfig, make_workload
 from repro.core.lsm import GPULSM
-from repro.gpu.spec import GPUSpec, K40C_SPEC
+from repro.gpu.spec import GPUSpec
 
 
 def ffz(r: int) -> int:

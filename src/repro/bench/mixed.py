@@ -1,0 +1,123 @@
+"""Mixed-operation serving experiment: one KVStore tick vs segregated calls.
+
+The mixed-operation executor folds a tick's insertions and deletions into
+one canonical update batch (one cascade instead of two — each segregated
+call pads its partial batch to the full ``b``) and serves each query kind
+with exactly one bulk pass, so a front-end speaking :class:`repro.api.ops.OpBatch`
+should beat the same traffic split into homogeneous ``insert`` / ``delete``
+/ ``lookup`` / ``count`` / ``range_query`` calls.  This experiment measures
+both paths on identical tick streams and reports the simulated rates —
+the baseline the perf trajectory of future PRs is tracked against
+(``benchmarks/results/mixed_op_rates.csv``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.api.kvstore import KVStore
+from repro.api.ops import OpBatch, OpCode
+from repro.bench.runner import PAPER_INSERTION_ELEMENTS, scaled_spec
+from repro.bench.workloads import MixedOpConfig, make_mixed_batches
+from repro.core.lsm import GPULSM
+from repro.gpu.device import Device
+from repro.gpu.spec import GPUSpec
+from repro.scale.sharded import ShardedLSM
+
+
+def _make_backend(kind: str, tick_size: int, spec: GPUSpec, seed: int):
+    if kind == "gpulsm":
+        return GPULSM(batch_size=tick_size, device=Device(spec, seed=seed))
+    if kind.startswith("sharded"):
+        return ShardedLSM(
+            num_shards=int(kind[len("sharded") :]),
+            batch_size=tick_size,
+            spec=spec,
+            seed=seed,
+        )
+    raise ValueError(f"unknown backend kind {kind!r}")
+
+
+def _simulated_seconds(backend) -> float:
+    """Wall-clock of the backend: router + slowest shard when sharded."""
+    if hasattr(backend, "profile"):
+        return backend.profile()["parallel_seconds"]
+    return backend.device.simulated_seconds
+
+
+def _apply_segregated(backend, batch: OpBatch) -> None:
+    """What a caller does without the mixed API: one homogeneous call per
+    operation kind present in the tick (updates first, then the queries)."""
+    codes = batch.opcodes
+    ins = codes == OpCode.INSERT
+    if np.any(ins):
+        backend.insert(batch.keys[ins], batch.values[ins])
+    dels = codes == OpCode.DELETE
+    if np.any(dels):
+        backend.delete(batch.keys[dels])
+    looks = codes == OpCode.LOOKUP
+    if np.any(looks):
+        backend.lookup(batch.keys[looks])
+    cnts = codes == OpCode.COUNT
+    if np.any(cnts):
+        backend.count(batch.keys[cnts], batch.range_ends[cnts])
+    rngs = codes == OpCode.RANGE
+    if np.any(rngs):
+        backend.range_query(batch.keys[rngs], batch.range_ends[rngs])
+
+
+def mixed_vs_segregated_throughput(
+    num_ops: int,
+    tick_size: int,
+    backends: Sequence[str] = ("gpulsm", "sharded4"),
+    spec: Optional[GPUSpec] = None,
+    seed: int = 0xC0FFEE,
+) -> List[dict]:
+    """Run the same mixed tick stream through both serving paths.
+
+    Returns two rows per backend kind (``mode`` = ``mixed`` /
+    ``segregated``) with the aggregate simulated rate in M ops/s; mixed
+    rows carry the ``speedup`` over their segregated sibling.
+    """
+    batches = make_mixed_batches(
+        MixedOpConfig(num_ops=num_ops, tick_size=tick_size, seed=seed)
+    )
+    if spec is None:
+        spec = scaled_spec(num_ops, PAPER_INSERTION_ELEMENTS)
+    total_ops = sum(b.size for b in batches)
+    total_updates = sum(b.num_updates for b in batches)
+
+    rows: List[dict] = []
+    for kind in backends:
+        per_mode = {}
+        for mode in ("segregated", "mixed"):
+            backend = _make_backend(kind, tick_size, spec, seed=1)
+            if mode == "mixed":
+                store = KVStore(backend=backend)
+                for batch in batches:
+                    store.apply(batch)
+            else:
+                for batch in batches:
+                    _apply_segregated(backend, batch)
+            seconds = _simulated_seconds(backend)
+            per_mode[mode] = total_ops / seconds / 1e6
+            rows.append(
+                {
+                    "backend": kind,
+                    "mode": mode,
+                    "ticks": len(batches),
+                    "num_ops": total_ops,
+                    "updates": total_updates,
+                    "queries": total_ops - total_updates,
+                    "simulated_seconds": seconds,
+                    "rate_mops": per_mode[mode],
+                    "speedup": (
+                        per_mode["mixed"] / per_mode["segregated"]
+                        if mode == "mixed"
+                        else float("nan")
+                    ),
+                }
+            )
+    return rows

@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import io
 import os
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 def _stringify(value: object, precision: int = 2) -> str:

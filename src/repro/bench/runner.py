@@ -13,7 +13,7 @@ fixed-size work items).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 

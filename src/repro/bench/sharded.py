@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.bench.runner import PAPER_INSERTION_ELEMENTS, scaled_spec
 from repro.bench.workloads import Workload, WorkloadConfig, make_workload

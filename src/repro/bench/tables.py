@@ -15,7 +15,7 @@ the ``n/b`` ratio and of per-element traffic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from repro.bench.runner import (
 )
 from repro.bench.workloads import WorkloadConfig, make_workload
 from repro.core.lsm import GPULSM
-from repro.gpu.spec import GPUSpec, K40C_SPEC
+from repro.gpu.spec import GPUSpec
 
 
 # --------------------------------------------------------------------- #

@@ -10,11 +10,12 @@ distributions deterministically from a seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Mapping, Tuple
 
 import numpy as np
 
+from repro.api.ops import OpBatch, OpCode
 from repro.core.encoding import MAX_KEY
 
 
@@ -124,6 +125,106 @@ class Workload:
         for start in range(0, full, batch_size):
             stop = start + batch_size
             yield self.keys[start:stop], self.values[start:stop]
+
+
+#: Default operation mix of the mixed-op serving workload: update-heavy
+#: like the paper's insertion experiments but with every query kind
+#: present, the traffic shape a dictionary front-end actually receives.
+DEFAULT_OP_MIX: Mapping[OpCode, float] = {
+    OpCode.INSERT: 0.45,
+    OpCode.DELETE: 0.10,
+    OpCode.LOOKUP: 0.30,
+    OpCode.COUNT: 0.075,
+    OpCode.RANGE: 0.075,
+}
+
+
+@dataclass(frozen=True)
+class MixedOpConfig:
+    """Description of one generated mixed-operation stream.
+
+    Attributes
+    ----------
+    num_ops:
+        Total operations across all ticks (trailing partial tick dropped,
+        like :meth:`Workload.batches`).
+    tick_size:
+        Operations per :class:`~repro.api.ops.OpBatch` tick.
+    mix:
+        Relative weight per opcode (normalised internally).
+    key_space:
+        Keys are drawn uniformly from ``[0, key_space)``.
+    expected_range_width:
+        Target expected matches per COUNT/RANGE query, sized against the
+        workload's expected live population (like Table IV's ``L``).
+    seed:
+        RNG seed.
+    """
+
+    num_ops: int
+    tick_size: int
+    mix: Mapping[OpCode, float] = field(
+        default_factory=lambda: dict(DEFAULT_OP_MIX)
+    )
+    key_space: int = MAX_KEY - (1 << 20)
+    expected_range_width: int = 8
+    seed: int = 0xC0FFEE
+
+    def __post_init__(self) -> None:
+        if self.num_ops <= 0 or self.tick_size <= 0:
+            raise ValueError("num_ops and tick_size must be positive")
+        if self.key_space <= 1 or self.key_space > MAX_KEY:
+            raise ValueError("key_space must be in (1, MAX_KEY]")
+        weights = dict(self.mix)
+        if any(w < 0 for w in weights.values()) or sum(weights.values()) <= 0:
+            raise ValueError("mix weights must be non-negative, sum positive")
+
+
+def make_mixed_batches(config: MixedOpConfig) -> List[OpBatch]:
+    """Generate the mixed-operation tick stream described by ``config``.
+
+    Every tick is one columnar :class:`~repro.api.ops.OpBatch` of
+    ``tick_size`` operations with opcodes drawn from the mix, keys uniform
+    over the key space, and COUNT/RANGE windows sized so the expected
+    number of matches is ``expected_range_width`` against the stream's
+    expected live population.
+    """
+    rng = np.random.default_rng(config.seed)
+    codes = np.array(sorted(config.mix), dtype=np.uint8)
+    weights = np.array([config.mix[OpCode(c)] for c in codes], dtype=np.float64)
+    weights /= weights.sum()
+
+    # Expected live population: the insert share of the stream (duplicate
+    # draws are rare for the default 31-bit key space, exactly like the
+    # paper's insertion workloads).
+    expected_live = max(1, int(config.num_ops * weights[codes == OpCode.INSERT].sum()))
+    window = max(
+        1,
+        int(round(config.expected_range_width * config.key_space / expected_live)),
+    )
+    window = min(window, config.key_space - 1)
+
+    num_ticks = config.num_ops // config.tick_size
+    batches: List[OpBatch] = []
+    for _ in range(num_ticks):
+        n = config.tick_size
+        opcodes = rng.choice(codes, size=n, p=weights).astype(np.uint8)
+        keys = rng.integers(0, config.key_space, n, dtype=np.uint64)
+        values = rng.integers(0, 1 << 31, n, dtype=np.uint64)
+        values[opcodes != OpCode.INSERT] = 0
+        range_ends = np.zeros(n, dtype=np.uint64)
+        is_range = (opcodes == OpCode.COUNT) | (opcodes == OpCode.RANGE)
+        if np.any(is_range):
+            k1 = rng.integers(
+                0,
+                max(1, config.key_space - window),
+                int(is_range.sum()),
+                dtype=np.uint64,
+            )
+            keys[is_range] = k1
+            range_ends[is_range] = np.minimum(k1 + window, MAX_KEY)
+        batches.append(OpBatch(opcodes, keys, values, range_ends))
+    return batches
 
 
 def make_workload(config: WorkloadConfig) -> Workload:

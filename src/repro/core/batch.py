@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import LSMConfig
-from repro.core.encoding import KeyEncoder, STATUS_REGULAR, STATUS_TOMBSTONE
+from repro.core.encoding import STATUS_REGULAR, STATUS_TOMBSTONE
 from repro.core.run import SortedRun
 
 

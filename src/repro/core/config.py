@@ -9,8 +9,7 @@ like a debug build of the original code would assert its invariants).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

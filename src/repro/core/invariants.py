@@ -22,7 +22,7 @@ itself is exercised end-to-end by the semantics tests against
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING
 
 import numpy as np
 

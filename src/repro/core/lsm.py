@@ -23,13 +23,13 @@ throughput numbers reported in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.batch import UpdateBatch, build_update_batch
 from repro.core.config import LSMConfig
-from repro.core.encoding import KeyEncoder, STATUS_REGULAR, STATUS_TOMBSTONE
+from repro.core.encoding import KeyEncoder, STATUS_REGULAR
 from repro.core.level import Level
 from repro.core.run import SortedRun
 from repro.gpu.device import Device, get_default_device
@@ -130,6 +130,12 @@ class GPULSM:
         self.total_insertions = 0
         self.total_deletions = 0
         self.total_cleanups = 0
+        #: Structural epoch: incremented by every mutation that can change
+        #: the level set (update cascades, bulk build, cleanup).  Queries
+        #: never change it.  The mixed-operation executor of
+        #: :mod:`repro.api` pins this counter around a tick's reads so a
+        #: snapshot read can never silently interleave with a cascade.
+        self.epoch = 0
         #: Upper bound on the number of *live* resident elements, maintained
         #: incrementally: each update batch can add at most its number of
         #: distinct regular keys to the live population, and cleanup resets
@@ -142,6 +148,14 @@ class GPULSM:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @classmethod
+    def supported_operations(cls) -> frozenset:
+        """The dictionary operations this structure implements for real
+        (its row of the paper's Table I)."""
+        return frozenset(
+            {"bulk_build", "insert", "delete", "lookup", "count", "range_query"}
+        )
+
     @property
     def batch_size(self) -> int:
         """The configured batch size ``b``."""
@@ -275,6 +289,7 @@ class GPULSM:
             self.num_batches += 1
             self.total_insertions += batch.num_insertions
             self.total_deletions += batch.num_deletions
+            self.epoch += 1
 
         if self.config.validate_invariants:
             from repro.core.invariants import check_lsm_invariants
@@ -331,6 +346,7 @@ class GPULSM:
             self._distribute_sorted(run, num_batches)
             self.total_insertions += keys.size
             self._live_keys_upper_bound += self._distinct_regular_keys(run.keys)
+            self.epoch += 1
 
         if self.config.validate_invariants:
             from repro.core.invariants import check_lsm_invariants
@@ -567,7 +583,6 @@ class GPULSM:
             # queries' chunks from this level at once.
             dest_start = offsets_2d[:, j]
             src_start = lows[:, j]
-            seg = np.repeat(np.arange(nq), lengths)
             within = np.arange(chunk_total) - np.repeat(
                 np.cumsum(lengths) - lengths, lengths
             )
@@ -727,6 +742,7 @@ class GPULSM:
             if new_batches:
                 self._distribute_sorted(final_run, new_batches)
             self.total_cleanups += 1
+            self.epoch += 1
             # After cleanup every resident non-placebo element is live, so
             # the live-population bound becomes exact.
             self._live_keys_upper_bound = num_valid

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.gpu.counters import CounterSnapshot, KernelStats
 from repro.gpu.spec import GPUSpec, K40C_SPEC

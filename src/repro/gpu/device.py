@@ -23,11 +23,11 @@ suite and the benchmark harness — construct their own devices explicitly.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional, Sequence, Tuple, Union
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.gpu.cost_model import CostModel, KernelCost
+from repro.gpu.cost_model import CostModel
 from repro.gpu.counters import CounterSnapshot, KernelStats, TrafficCounter
 from repro.gpu.launch import GridGeometry, LaunchConfig, make_grid
 from repro.gpu.memory import DeviceArray, DoubleBuffer, MemoryPool

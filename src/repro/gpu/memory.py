@@ -17,8 +17,8 @@ abstractions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Dict, TYPE_CHECKING
 
 import numpy as np
 

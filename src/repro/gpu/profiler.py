@@ -10,11 +10,11 @@ measurements bracket operations with CUDA events.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from repro.gpu.cost_model import CostModel, KernelCost
-from repro.gpu.counters import CounterSnapshot, KernelStats, TrafficCounter
+from repro.gpu.counters import TrafficCounter
 
 
 @dataclass

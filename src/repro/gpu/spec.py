@@ -13,7 +13,7 @@ be modelled — the benchmarks accept any :class:`GPUSpec`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 

@@ -69,25 +69,43 @@ class DictionaryProtocol(Protocol):
 def supports(dictionary: DictionaryProtocol, operation: str) -> bool:
     """True when ``dictionary`` implements ``operation`` for real.
 
-    Probes the method with an empty batch: structures that do not support
-    an operation raise :class:`UnsupportedOperationError` eagerly, before
-    looking at their arguments, so an empty probe is free of side effects.
+    Every structure in this library declares its Table I row via a
+    ``supported_operations()`` classmethod; when present that declaration
+    is authoritative and the answer is a set lookup, with no probe call at
+    all.
+
+    For foreign backends without the classmethod, the method is probed
+    with an empty batch, mirroring each operation's real call shape
+    (``insert`` / ``bulk_build`` take a key *and* a value array, the other
+    operations take exactly the arrays their signature names).  Only two
+    probe outcomes mean "supported": the call returning normally, or
+    raising :class:`ValueError` (argument validation such as "batch must
+    be non-empty" proves the operation is implemented — it examined its
+    input).  :class:`UnsupportedOperationError` (and any other
+    ``NotImplementedError``) means unsupported, and — unlike the earlier
+    behaviour of this helper — so does every *other* exception: a
+    ``TypeError`` from a mismatched signature is evidence the surface is
+    absent, not present.
     """
+    declared = getattr(dictionary, "supported_operations", None)
+    if callable(declared):
+        return operation in declared()
+
     method = getattr(dictionary, operation, None)
-    if method is None:
+    if not callable(method):
         return False
     empty_u32 = np.zeros(0, dtype=np.uint32)
     try:
-        if operation in ("count", "range_query"):
+        if operation in ("count", "range_query", "insert", "bulk_build"):
             method(empty_u32, empty_u32)
-        elif operation in ("lookup", "delete"):
+        else:  # lookup / delete take a single key array
             method(empty_u32)
-        else:  # insert / bulk_build
-            method(empty_u32, empty_u32)
     except UnsupportedOperationError:
         return False
-    except Exception:
-        # Any other failure (e.g. "batch must be non-empty") still proves
-        # the operation exists and is implemented.
+    except ValueError:
+        # Argument validation (e.g. "batch must be non-empty") proves the
+        # operation exists and looked at its input.
         return True
+    except Exception:
+        return False
     return True

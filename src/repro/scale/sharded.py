@@ -126,10 +126,32 @@ class ShardedLSM:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @classmethod
+    def supported_operations(cls) -> frozenset:
+        """The dictionary operations the sharded front-end routes (the full
+        GPU LSM surface — every shard is a GPU LSM)."""
+        return GPULSM.supported_operations()
+
     @property
     def num_elements(self) -> int:
         """Physically resident elements across all shards (stale included)."""
         return sum(shard.num_elements for shard in self.shards)
+
+    @property
+    def shard_epochs(self) -> Tuple[int, ...]:
+        """Per-shard structural epochs (each shard's cascade counter).
+
+        The mixed-operation executor pins this tuple around a tick's reads;
+        any shard running a cascade mid-read changes its entry, which is
+        detected even when another shard's counter would mask it in an
+        aggregate sum.
+        """
+        return tuple(shard.epoch for shard in self.shards)
+
+    @property
+    def epoch(self) -> int:
+        """Aggregate structural epoch (sum of the per-shard epochs)."""
+        return sum(self.shard_epochs)
 
     @property
     def total_insertions(self) -> int:

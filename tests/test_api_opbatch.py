@@ -1,0 +1,192 @@
+"""OpBatch construction, validation, planning and result layout."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Consistency,
+    Op,
+    OpBatch,
+    OpCode,
+    ResultStatus,
+    plan_batch,
+)
+
+
+class TestOpBatchBuilders:
+    def test_from_ops_round_trips(self):
+        ops = [
+            Op.insert(5, 50),
+            Op.delete(6),
+            Op.lookup(7),
+            Op.count(1, 9),
+            Op.range_query(2, 8),
+        ]
+        batch = OpBatch.from_ops(ops)
+        assert batch.size == 5
+        assert [batch.op(i) for i in range(5)] == ops
+        assert list(batch) == ops
+
+    def test_columnar_builders_set_the_right_columns(self):
+        ins = OpBatch.inserts(np.array([1, 2]), np.array([10, 20]))
+        assert list(ins.opcodes) == [OpCode.INSERT] * 2
+        assert list(ins.values) == [10, 20]
+        dels = OpBatch.deletes(np.array([3]))
+        assert list(dels.opcodes) == [OpCode.DELETE]
+        cnt = OpBatch.counts(np.array([0]), np.array([9]))
+        assert list(cnt.range_ends) == [9]
+        rng = OpBatch.ranges(np.array([4]), np.array([8]))
+        assert list(rng.opcodes) == [OpCode.RANGE]
+
+    def test_key_only_inserts_default_to_zero_values(self):
+        batch = OpBatch.inserts(np.array([1, 2, 3]))
+        assert list(batch.values) == [0, 0, 0]
+
+    def test_concat_preserves_arrival_order(self):
+        batch = OpBatch.concat(
+            [
+                OpBatch.inserts(np.array([1]), np.array([10])),
+                OpBatch.lookups(np.array([2])),
+                OpBatch.deletes(np.array([3])),
+            ]
+        )
+        assert [OpCode(c) for c in batch.opcodes] == [
+            OpCode.INSERT,
+            OpCode.LOOKUP,
+            OpCode.DELETE,
+        ]
+        assert list(batch.keys) == [1, 2, 3]
+
+    def test_concat_of_nothing_is_empty(self):
+        assert OpBatch.concat([]).size == 0
+        assert OpBatch.empty().size == 0
+
+    def test_mix_introspection(self):
+        batch = OpBatch.concat(
+            [
+                OpBatch.inserts(np.arange(3), np.arange(3)),
+                OpBatch.lookups(np.arange(2)),
+            ]
+        )
+        assert batch.num_updates == 3
+        assert batch.num_queries == 2
+        mix = batch.counts_by_opcode()
+        assert mix[OpCode.INSERT] == 3 and mix[OpCode.LOOKUP] == 2
+        assert mix[OpCode.RANGE] == 0
+
+
+class TestOpBatchValidation:
+    def test_range_requires_ordered_bounds(self):
+        with pytest.raises(ValueError, match="key <= range_end"):
+            OpBatch.counts(np.array([9]), np.array([1]))
+        with pytest.raises(ValueError, match="key <= range_end"):
+            OpBatch.from_ops([Op.range_query(9, 1)])
+
+    def test_range_op_requires_range_end(self):
+        with pytest.raises(ValueError, match="requires range_end"):
+            OpBatch.from_ops([Op(OpCode.COUNT, 3)])
+
+    def test_rejects_negative_and_non_integer_keys(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            OpBatch.lookups(np.array([-1]))
+        with pytest.raises(ValueError, match="integer"):
+            OpBatch.lookups(np.array([1.5]))
+
+    def test_rejects_misaligned_columns(self):
+        with pytest.raises(ValueError, match="align"):
+            OpBatch(
+                np.zeros(2, dtype=np.uint8),
+                np.zeros(3, dtype=np.uint64),
+                np.zeros(2, dtype=np.uint64),
+                np.zeros(2, dtype=np.uint64),
+            )
+
+    def test_rejects_non_integer_opcode_columns(self):
+        with pytest.raises(ValueError, match="integer"):
+            OpBatch(
+                np.array([2.9]),  # would silently truncate to LOOKUP
+                np.zeros(1, dtype=np.uint64),
+                np.zeros(1, dtype=np.uint64),
+                np.zeros(1, dtype=np.uint64),
+            )
+
+    def test_rejects_unknown_opcodes(self):
+        with pytest.raises(ValueError, match="opcodes"):
+            OpBatch(
+                np.array([7], dtype=np.uint8),
+                np.zeros(1, dtype=np.uint64),
+                np.zeros(1, dtype=np.uint64),
+                np.zeros(1, dtype=np.uint64),
+            )
+
+
+class TestPlanner:
+    def _mixed(self):
+        return OpBatch.from_ops(
+            [
+                Op.lookup(1),
+                Op.insert(2, 20),
+                Op.count(0, 9),
+                Op.delete(3),
+                Op.lookup(4),
+                Op.range_query(0, 9),
+            ]
+        )
+
+    def test_snapshot_plan_runs_queries_before_the_update_segment(self, device):
+        plan = plan_batch(self._mixed(), Consistency.SNAPSHOT, device=device)
+        kinds = [s.kind for s in plan.segments]
+        assert kinds == ["lookup", "count", "range", "update"]
+        lookup_seg = plan.segments[0]
+        # Stable multisplit: arrival order preserved inside the segment.
+        assert list(lookup_seg.indices) == [0, 4]
+        assert list(plan.segments[-1].indices) == [1, 3]
+
+    def test_strict_plan_follows_arrival_runs(self, device):
+        plan = plan_batch(self._mixed(), Consistency.STRICT, device=device)
+        kinds = [s.kind for s in plan.segments]
+        # lookup(1) | insert | count | delete | lookup, range
+        assert kinds == ["lookup", "update", "count", "update", "lookup", "range"]
+        assert list(plan.segments[1].indices) == [1]
+        assert list(plan.segments[4].indices) == [4]
+
+    def test_empty_batch_plans_to_no_segments(self, device):
+        plan = plan_batch(OpBatch.empty(), Consistency.SNAPSHOT, device=device)
+        assert plan.num_segments == 0
+
+
+class TestResultBatch:
+    def test_result_index_bounds(self, device):
+        from repro import KVStore
+
+        store = KVStore(batch_size=8, device=device)
+        res = store.apply(OpBatch.inserts(np.array([1]), np.array([10])))
+        assert res.ok
+        res.raise_for_status()
+        with pytest.raises(IndexError):
+            res.result(1)
+
+    def test_statuses_and_payloads_in_request_order(self, device):
+        from repro import KVStore
+
+        store = KVStore(batch_size=8, device=device)
+        store.apply(OpBatch.inserts(np.arange(6), np.arange(6) * 10))
+        res = store.apply(
+            OpBatch.from_ops(
+                [
+                    Op.range_query(0, 2),
+                    Op.lookup(5),
+                    Op.range_query(4, 5),
+                    Op.count(0, 5),
+                ]
+            )
+        )
+        assert res.ok and all(r.status is ResultStatus.OK for r in res)
+        first = res.result(0)
+        assert list(first.keys) == [0, 1, 2] and list(first.values) == [0, 10, 20]
+        second = res.result(2)
+        assert list(second.keys) == [4, 5] and list(second.values) == [40, 50]
+        assert res.result(1).found and res.result(1).value == 50
+        assert res.result(3).count == 6
+        # Flat layout: widths of range rows only, in request order.
+        assert list(np.diff(res.range_offsets)) == [3, 0, 2, 0]

@@ -5,7 +5,6 @@ qualitative relationships the paper reports — the same checks EXPERIMENTS.md
 documents at the larger benchmark scale.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import cleanup_exp, figures, report, tables

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.batch import build_update_batch
 from repro.core.config import LSMConfig
-from repro.core.encoding import STATUS_REGULAR, STATUS_TOMBSTONE
 from repro.core.level import Level, LevelStateError
 
 

@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines.cuckoo_hash import (
-    CuckooBuildError,
-    CuckooHashTable,
-    EMPTY_SLOT,
-    STASH_SIZE,
-)
+from repro.baselines.cuckoo_hash import CuckooHashTable, EMPTY_SLOT, STASH_SIZE
 
 
 class TestBuild:

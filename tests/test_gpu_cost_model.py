@@ -1,11 +1,9 @@
 """Unit tests for traffic counters, the cost model, and the profiler."""
 
-import numpy as np
 import pytest
 
 from repro.gpu.cost_model import CostModel, KernelCost
 from repro.gpu.counters import KernelStats, TrafficCounter
-from repro.gpu.device import Device
 from repro.gpu.spec import GPUSpec, K40C_SPEC
 
 

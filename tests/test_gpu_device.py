@@ -1,7 +1,6 @@
 """Unit tests for the simulated Device (repro.gpu.device)."""
 
 import numpy as np
-import pytest
 
 from repro.gpu.device import Device, get_default_device, set_default_device
 from repro.gpu.spec import K40C_SPEC

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.gpu.errors import LaunchConfigurationError
-from repro.gpu.launch import GridGeometry, LaunchConfig, make_grid, warps_for
-from repro.gpu.spec import K40C_SPEC
+from repro.gpu.launch import LaunchConfig, make_grid, warps_for
 from repro.gpu import warp
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro.gpu.errors import BufferStateError, DeviceMemoryError, DeviceMismatchError
 from repro.gpu.memory import MemoryPool
 from repro.gpu.device import Device
-from repro.gpu.spec import TINY_SPEC, K40C_SPEC
+from repro.gpu.spec import K40C_SPEC
 
 
 class TestMemoryPool:

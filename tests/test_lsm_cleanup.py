@@ -1,7 +1,6 @@
 """Unit tests for the GPU LSM cleanup operation (Sections III-F / IV-E)."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import LSMConfig
 from repro.core.invariants import check_lsm_invariants

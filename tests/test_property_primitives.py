@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.gpu.device import Device
 from repro.gpu.spec import K40C_SPEC
-from repro.primitives.compact import compact, segmented_compact
+from repro.primitives.compact import compact
 from repro.primitives.merge import merge_keys, merge_pairs
 from repro.primitives.multisplit import multisplit_keys
 from repro.primitives.radix_sort import radix_sort_keys, radix_sort_pairs

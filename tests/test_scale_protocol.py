@@ -37,6 +37,82 @@ class TestStructuralConformance:
         assert not supports(cuckoo, "range_query")
 
 
+class TestSupportedOperationsDeclarations:
+    def test_every_structure_declares_its_table1_row(self):
+        full = {"bulk_build", "insert", "delete", "lookup", "count", "range_query"}
+        assert GPULSM.supported_operations() == full
+        assert GPUSortedArray.supported_operations() == full
+        assert ShardedLSM.supported_operations() == full
+        assert CuckooHashTable.supported_operations() == frozenset(
+            {"bulk_build", "insert", "delete", "lookup"}
+        )
+
+    def test_declaration_is_authoritative_no_probe_call(self):
+        class Declared:
+            probed = False
+
+            @classmethod
+            def supported_operations(cls):
+                return {"lookup"}
+
+            def lookup(self, keys):  # pragma: no cover - must not run
+                type(self).probed = True
+
+        backend = Declared()
+        assert supports(backend, "lookup")
+        assert not supports(backend, "count")
+        assert not Declared.probed
+
+    def test_probe_fallback_empty_batch_outcomes(self, device):
+        class Foreign:
+            """No supported_operations(): supports() falls back to probing."""
+
+            def lookup(self, keys):
+                return []  # returns normally on an empty batch
+
+            def delete(self, keys):
+                raise ValueError("delete requires a non-empty batch")
+
+            def insert(self, keys, values=None):
+                raise UnsupportedOperationError("read-only structure")
+
+            def count(self, k1, k2):
+                raise TypeError("wrong arity somewhere inside")
+
+        backend = Foreign()
+        assert supports(backend, "lookup")
+        # Argument validation on the empty probe proves the op exists.
+        assert supports(backend, "delete")
+        assert not supports(backend, "insert")
+        # Arbitrary exceptions no longer count as "supported".
+        assert not supports(backend, "count")
+        # Missing methods never do.
+        assert not supports(backend, "range_query")
+
+    def test_probe_mirrors_each_operations_call_shape(self):
+        seen = {}
+
+        class Recording:
+            def insert(self, *args):
+                seen["insert"] = len(args)
+
+            def lookup(self, *args):
+                seen["lookup"] = len(args)
+
+            def delete(self, *args):
+                seen["delete"] = len(args)
+
+            def count(self, *args):
+                seen["count"] = len(args)
+
+        backend = Recording()
+        for op in ("insert", "lookup", "delete", "count"):
+            assert supports(backend, op)
+        # insert/count probe with (keys, values)/(k1, k2); lookup/delete
+        # with a single key array — the real signatures.
+        assert seen == {"insert": 2, "count": 2, "lookup": 1, "delete": 1}
+
+
 class TestCuckooIncrementalOps:
     def test_insert_adds_and_overwrites(self, device):
         table = CuckooHashTable(device=device)
