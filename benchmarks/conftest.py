@@ -42,6 +42,8 @@ SCALES = {
         "sharded": dict(total_elements=1 << 15, batch_size=1 << 10,
                         shard_counts=(1, 2, 4, 8)),
         "mixed": dict(num_ops=1 << 14, tick_size=1 << 10),
+        "serve": dict(num_ops=1 << 12, target_tick_size=1 << 8,
+                      utilisations=(0.5, 0.9, 2.0)),
     },
     "paper": {
         "table1": dict(small_elements=1 << 12, large_elements=1 << 16, batch_size=1 << 9),
@@ -60,6 +62,8 @@ SCALES = {
         "sharded": dict(total_elements=1 << 17, batch_size=1 << 12,
                         shard_counts=(1, 2, 4, 8, 16)),
         "mixed": dict(num_ops=1 << 17, tick_size=1 << 12),
+        "serve": dict(num_ops=1 << 16, target_tick_size=1 << 11,
+                      utilisations=(0.5, 0.9, 2.0)),
     },
 }
 

@@ -28,6 +28,12 @@ Package layout
     multisplit planner/executor with the snapshot/strict ``consistency``
     knob, and the :class:`repro.api.kvstore.KVStore` facade with
     ticketing sessions.
+``repro.serve``
+    The serving engine: thread-safe multi-client admission
+    (:class:`repro.serve.Engine`), the adaptive dual-trigger tick
+    scheduler (:class:`repro.serve.TickConfig`), and the pipelined
+    plan/execute path with per-tick telemetry.  :class:`KVStore` is a
+    thin single-client view over it.
 ``repro.bench``
     The experiment harness that regenerates every table and figure of the
     paper's Section V.
@@ -71,10 +77,20 @@ from repro.api import (
     SnapshotViolationError,
     Ticket,
 )
+from repro.serve import (
+    BatchTicket,
+    Engine,
+    EngineClosedError,
+    EngineSaturatedError,
+    EngineStats,
+    OpTicket,
+    TickConfig,
+    TickTrigger,
+)
 from repro.gpu.device import Device, get_default_device, set_default_device
 from repro.gpu.spec import GPUSpec, K40C_SPEC
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Curated public surface: the mixed-operation API first (the primary
 #: entry point), then the dictionary structures, the protocol, and the
@@ -92,6 +108,15 @@ __all__ = [
     "ResultStatus",
     "Consistency",
     "SnapshotViolationError",
+    # Serving engine (multi-client admission over the mixed-op planner)
+    "Engine",
+    "EngineStats",
+    "EngineClosedError",
+    "EngineSaturatedError",
+    "TickConfig",
+    "TickTrigger",
+    "OpTicket",
+    "BatchTicket",
     # Dictionary structures
     "GPULSM",
     "ShardedLSM",

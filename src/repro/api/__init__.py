@@ -32,6 +32,7 @@ from repro.api.planner import (
     Segment,
     SnapshotViolationError,
     execute,
+    execute_plan,
     plan_batch,
 )
 from repro.api.kvstore import KVStore, Session, Ticket
@@ -49,6 +50,7 @@ __all__ = [
     "Segment",
     "SnapshotViolationError",
     "execute",
+    "execute_plan",
     "plan_batch",
     "KVStore",
     "Session",

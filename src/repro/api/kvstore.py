@@ -31,9 +31,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.api.ops import Op, OpBatch, OpCode, OpResult, ResultBatch
-from repro.api.planner import Consistency, execute
+from repro.api.planner import Consistency
 from repro.core.lsm import GPULSM, LookupResult, RangeResult
 from repro.gpu.device import Device
+from repro.serve.engine import Engine, EngineStats, empty_result_batch
 
 
 class KVStore:
@@ -84,8 +85,12 @@ class KVStore:
             )
         self.backend = backend
         self.consistency = Consistency(consistency)
-        #: Number of ticks applied through this facade.
-        self.ticks = 0
+        #: The serving engine this facade is a single-client view of:
+        #: every tick runs through its inline plan → execute path (and its
+        #: telemetry), so :class:`KVStore` and :class:`repro.serve.Engine`
+        #: share one execution surface.  The engine is never started —
+        #: the facade stays synchronous and thread-free.
+        self.engine = Engine(backend, consistency=self.consistency)
 
     # ------------------------------------------------------------------ #
     # The mixed-operation surface
@@ -105,13 +110,20 @@ class KVStore:
                 "build one with OpBatch.from_ops / the columnar builders"
             )
         mode = self.consistency if consistency is None else Consistency(consistency)
-        result = execute(batch, self.backend, consistency=mode)
-        self.ticks += 1
-        return result
+        return self.engine.apply(batch, consistency=mode)
 
     def session(self) -> "Session":
         """A new ticketing session over this store (one tick per commit)."""
         return Session(self)
+
+    @property
+    def ticks(self) -> int:
+        """Number of ticks applied through this facade."""
+        return self.engine.ticks
+
+    def stats(self) -> EngineStats:
+        """The engine's serving telemetry for this facade's ticks."""
+        return self.engine.stats()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -261,13 +273,20 @@ class Session:
 
     def commit(self, consistency: Optional[Consistency] = None) -> ResultBatch:
         """Flush the pending operations as one tick; resolves their
-        tickets.  An empty commit is a no-op tick (still recorded, so
-        ticket arithmetic stays aligned).
+        tickets.
+
+        A commit with **zero pending operations is a pure no-op**: it
+        returns an empty :class:`~repro.api.ops.ResultBatch` without
+        running a planner tick, advancing the store's tick counter, or
+        bumping any backend epoch.  (No tickets point at the would-be
+        tick, so ticket arithmetic stays aligned without recording it.)
 
         A failing tick (a backend rejection, a snapshot violation) leaves
         the session unchanged: the operations stay pending, their tickets
         stay valid, and the commit can simply be retried.
         """
+        if not self._pending:
+            return empty_result_batch()
         batch = OpBatch.from_ops(self._pending)
         result = self.store.apply(batch, consistency=consistency)
         self._pending = []

@@ -255,6 +255,15 @@ class OpBatch:
     def ranges(cls, k1: np.ndarray, k2: np.ndarray) -> "OpBatch":
         return cls._uniform(OpCode.RANGE, k1, range_ends=k2)
 
+    def slice(self, lo: int, hi: int) -> "OpBatch":
+        """Rows ``[lo, hi)`` as their own batch (column views, no copy)."""
+        return OpBatch(
+            self.opcodes[lo:hi],
+            self.keys[lo:hi],
+            self.values[lo:hi],
+            self.range_ends[lo:hi],
+        )
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #

@@ -449,27 +449,31 @@ def _run_query_segment(
         acc.range_chunks.append((idx, rr.keys, rr.values, rr.offsets))
 
 
-def execute(
+def _backend_device(backend) -> Device:
+    """The device a backend's mixed-path kernels are recorded on."""
+    return (
+        getattr(backend, "router_device", None)
+        or getattr(backend, "device", None)
+        or get_default_device()
+    )
+
+
+def execute_plan(
     batch: OpBatch,
+    plan: Plan,
     backend,
-    consistency: Consistency = Consistency.SNAPSHOT,
     device: Optional[Device] = None,
 ) -> ResultBatch:
-    """Run one mixed batch against a dictionary backend.
+    """Run an already-planned batch against a dictionary backend.
 
-    Plans the batch (one stable multisplit per tick in snapshot mode),
-    serves every segment through the backend's bulk entry points, and
-    returns the per-op answers in request order.  See the module docstring
-    for the two consistency modes and the epoch-pinning guarantee.
+    This is the execution half of :func:`execute`; splitting it out lets a
+    serving engine *pipeline* the two stages — plan tick ``N+1`` (on its
+    own planning device) while tick ``N`` executes on the backend.  The
+    plan must have been produced by :func:`plan_batch` for this exact
+    batch; the epoch-pinning guarantee applies unchanged.
     """
-    consistency = Consistency(consistency)
     if device is None:
-        device = (
-            getattr(backend, "router_device", None)
-            or getattr(backend, "device", None)
-            or get_default_device()
-        )
-    plan = plan_batch(batch, consistency=consistency, device=device)
+        device = _backend_device(backend)
     acc = _ResultAccumulator(batch)
 
     pinned = None
@@ -484,7 +488,7 @@ def execute(
                 batch,
                 segment,
                 acc,
-                arrival_order=consistency is Consistency.STRICT,
+                arrival_order=plan.consistency is Consistency.STRICT,
                 device=device,
             )
         else:
@@ -493,3 +497,27 @@ def execute(
             _run_query_segment(backend, batch, segment, acc)
     _check_pin(backend, pinned)
     return acc.freeze()
+
+
+def execute(
+    batch: OpBatch,
+    backend,
+    consistency: Consistency = Consistency.SNAPSHOT,
+    device: Optional[Device] = None,
+) -> ResultBatch:
+    """Run one mixed batch against a dictionary backend.
+
+    Plans the batch (one stable multisplit per tick in snapshot mode),
+    serves every segment through the backend's bulk entry points, and
+    returns the per-op answers in request order.  See the module docstring
+    for the two consistency modes and the epoch-pinning guarantee.
+
+    ``plan_batch`` + :func:`execute_plan` are the two halves of this call;
+    use them directly to overlap planning with execution (the serving
+    engine of :mod:`repro.serve` does).
+    """
+    consistency = Consistency(consistency)
+    if device is None:
+        device = _backend_device(backend)
+    plan = plan_batch(batch, consistency=consistency, device=device)
+    return execute_plan(batch, plan, backend, device=device)

@@ -14,6 +14,9 @@ One module per concern:
 * :mod:`repro.bench.figures` — series generators for Figures 4a and 4b.
 * :mod:`repro.bench.cleanup_exp` — the cleanup-rate and cleanup-speedup
   experiments of Section V-D.
+* :mod:`repro.bench.serve` — beyond the paper: the open-loop serving
+  experiment (latency percentiles vs offered load under the adaptive tick
+  scheduler of :mod:`repro.serve`).
 * :mod:`repro.bench.report` — plain-text and CSV rendering of rows/series.
 
 All experiments accept explicit scale parameters and default to sizes that
@@ -26,7 +29,7 @@ comparison for every table and figure.
 
 from repro.bench.workloads import WorkloadConfig, make_workload
 from repro.bench.runner import ExperimentRunner, RateSummary
-from repro.bench import tables, figures, cleanup_exp, report
+from repro.bench import tables, figures, cleanup_exp, report, serve
 
 __all__ = [
     "WorkloadConfig",
@@ -37,4 +40,5 @@ __all__ = [
     "figures",
     "cleanup_exp",
     "report",
+    "serve",
 ]

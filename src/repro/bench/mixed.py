@@ -24,6 +24,7 @@ from repro.bench.workloads import MixedOpConfig, make_mixed_batches
 from repro.core.lsm import GPULSM
 from repro.gpu.device import Device
 from repro.gpu.spec import GPUSpec
+from repro.scale.protocol import simulated_seconds
 from repro.scale.sharded import ShardedLSM
 
 
@@ -42,9 +43,7 @@ def _make_backend(kind: str, tick_size: int, spec: GPUSpec, seed: int):
 
 def _simulated_seconds(backend) -> float:
     """Wall-clock of the backend: router + slowest shard when sharded."""
-    if hasattr(backend, "profile"):
-        return backend.profile()["parallel_seconds"]
-    return backend.device.simulated_seconds
+    return simulated_seconds(backend)
 
 
 def _apply_segregated(backend, batch: OpBatch) -> None:

@@ -168,6 +168,11 @@ class MixedOpConfig:
     )
     key_space: int = MAX_KEY - (1 << 20)
     expected_range_width: int = 8
+    #: The single top-level seed of the whole workload.  Every random
+    #: stream any consumer derives — the per-tick operation draws, a
+    #: benchmark's arrival-time process — comes from this one value via
+    #: :func:`derived_rng` / per-tick seed children, which is what makes a
+    #: multi-batch serving workload reproducible end to end.
     seed: int = 0xC0FFEE
 
     def __post_init__(self) -> None:
@@ -180,6 +185,20 @@ class MixedOpConfig:
             raise ValueError("mix weights must be non-negative, sum positive")
 
 
+def derived_rng(seed: int, *stream: int) -> np.random.Generator:
+    """An independent RNG stream derived from one top-level seed.
+
+    Consumers that need extra randomness *alongside* a generated workload
+    (an open-loop benchmark's arrival times, a stress test's client
+    interleaving) derive it with a distinct ``stream`` tag instead of
+    inventing their own seed defaults — drawing from a derived stream can
+    never perturb the operation stream itself, so the whole multi-batch
+    workload stays reproducible from the single ``MixedOpConfig.seed``.
+    """
+    entropy = [int(seed), *[int(s) for s in stream]]
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
 def make_mixed_batches(config: MixedOpConfig) -> List[OpBatch]:
     """Generate the mixed-operation tick stream described by ``config``.
 
@@ -188,8 +207,14 @@ def make_mixed_batches(config: MixedOpConfig) -> List[OpBatch]:
     over the key space, and COUNT/RANGE windows sized so the expected
     number of matches is ``expected_range_width`` against the stream's
     expected live population.
+
+    **Determinism guarantee.**  The whole stream is a pure function of the
+    config: tick ``i`` is drawn from its own child of
+    ``SeedSequence(config.seed)``, so two calls with equal configs yield
+    identical streams element for element, and no other consumer of the
+    top-level seed (see :func:`derived_rng`) can perturb the operations.
+    There are no per-call seed parameters to fall out of sync.
     """
-    rng = np.random.default_rng(config.seed)
     codes = np.array(sorted(config.mix), dtype=np.uint8)
     weights = np.array([config.mix[OpCode(c)] for c in codes], dtype=np.float64)
     weights /= weights.sum()
@@ -205,8 +230,10 @@ def make_mixed_batches(config: MixedOpConfig) -> List[OpBatch]:
     window = min(window, config.key_space - 1)
 
     num_ticks = config.num_ops // config.tick_size
+    tick_seeds = np.random.SeedSequence(config.seed).spawn(num_ticks)
     batches: List[OpBatch] = []
-    for _ in range(num_ticks):
+    for tick_seed in tick_seeds:
+        rng = np.random.default_rng(tick_seed)
         n = config.tick_size
         opcodes = rng.choice(codes, size=n, p=weights).astype(np.uint8)
         keys = rng.integers(0, config.key_space, n, dtype=np.uint64)

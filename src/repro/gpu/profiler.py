@@ -11,10 +11,29 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from repro.gpu.cost_model import CostModel, KernelCost
 from repro.gpu.counters import TrafficCounter
+
+
+def percentile_summary(
+    values: Sequence[float], percentiles: Sequence[int] = (50, 95, 99)
+) -> Dict[str, float]:
+    """Latency-style percentile columns (``p50`` / ``p95`` / ``p99`` …).
+
+    The serving telemetry (:meth:`repro.serve.engine.Engine.stats`) and the
+    open-loop benchmark report per-operation latency through this one
+    helper so every surface uses the same column names and the same
+    (linear-interpolation) percentile definition.  Empty input yields NaN
+    columns, matching how the report writer renders missing cells.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {f"p{p}": float("nan") for p in percentiles}
+    return {f"p{p}": float(np.percentile(arr, p)) for p in percentiles}
 
 
 @dataclass

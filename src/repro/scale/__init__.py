@@ -12,6 +12,8 @@
 from repro.scale.protocol import (
     DictionaryProtocol,
     UnsupportedOperationError,
+    clear_supports_cache,
+    simulated_seconds,
     supports,
 )
 from repro.scale.sharded import ShardedLSM
@@ -19,6 +21,8 @@ from repro.scale.sharded import ShardedLSM
 __all__ = [
     "DictionaryProtocol",
     "UnsupportedOperationError",
+    "clear_supports_cache",
+    "simulated_seconds",
     "supports",
     "ShardedLSM",
 ]

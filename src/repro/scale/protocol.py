@@ -18,7 +18,7 @@ caller can probe support cheaply via :func:`supports`.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -66,6 +66,38 @@ class DictionaryProtocol(Protocol):
         ...
 
 
+def simulated_seconds(dictionary) -> float:
+    """The dictionary's simulated clock, in wall-clock terms.
+
+    A sharded front-end reports its ``profile()["parallel_seconds"]``
+    (router plus the slowest shard — all shards run concurrently); a
+    single-device structure reports its device clock.  The serving
+    engine's telemetry and the benchmark harness both read the clock
+    through this one helper.
+    """
+    profile = getattr(dictionary, "profile", None)
+    if callable(profile):
+        return float(profile()["parallel_seconds"])
+    device = getattr(dictionary, "device", None)
+    if device is not None:
+        return float(device.simulated_seconds)
+    return 0.0
+
+
+#: Memoised ``supports`` answers keyed by (class, operation).  Dictionary
+#: capabilities are *class-level and static* — every structure's Table I
+#: row is a property of the data structure, not of an instance's state —
+#: so the cache is never invalidated; hot paths (the mixed-op executor
+#: gates every segment through ``supports``) pay one dict lookup instead
+#: of an empty-batch probe per tick.
+_SUPPORTS_CACHE: Dict[Tuple[type, str], bool] = {}
+
+
+def clear_supports_cache() -> None:
+    """Drop every memoised ``supports`` answer (test isolation hook)."""
+    _SUPPORTS_CACHE.clear()
+
+
 def supports(dictionary: DictionaryProtocol, operation: str) -> bool:
     """True when ``dictionary`` implements ``operation`` for real.
 
@@ -86,7 +118,21 @@ def supports(dictionary: DictionaryProtocol, operation: str) -> bool:
     behaviour of this helper — so does every *other* exception: a
     ``TypeError`` from a mismatched signature is evidence the surface is
     absent, not present.
+
+    Either way the verdict is memoised per ``(type(dictionary),
+    operation)`` — capabilities are class-level and static, so the probe
+    runs at most once per class, not once per call.
     """
+    key = (type(dictionary), operation)
+    cached = _SUPPORTS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _probe_supports(dictionary, operation)
+    _SUPPORTS_CACHE[key] = result
+    return result
+
+
+def _probe_supports(dictionary: DictionaryProtocol, operation: str) -> bool:
     declared = getattr(dictionary, "supported_operations", None)
     if callable(declared):
         return operation in declared()

@@ -1,0 +1,47 @@
+"""The serving engine — multi-client admission, adaptive tick formation,
+and pipelined shard execution.
+
+The paper's GPU LSM amortises its cost over large bulk-synchronous
+batches; this package turns many small concurrent request streams into
+exactly those batches:
+
+* :mod:`repro.serve.scheduler` — :class:`TickConfig`, the dual-trigger
+  (target tick size *or* linger deadline) tick-formation policy with a
+  backpressure bound, shared by the threaded engine and the open-loop
+  benchmark simulator.
+* :mod:`repro.serve.engine` — :class:`Engine`: thread-safe
+  ``submit(op) -> OpTicket`` / ``submit_batch(batch) -> BatchTicket``
+  admission, the scheduler thread cutting ticks, and the pipelined
+  executor that plans tick *N+1* while tick *N* runs on the backend
+  (fanning out across :class:`~repro.scale.sharded.ShardedLSM` shards via
+  the existing one-multisplit route), plus per-tick telemetry through
+  :meth:`Engine.stats`.
+
+:class:`~repro.api.kvstore.KVStore` is a thin single-client view over
+this engine's inline path.
+"""
+
+from repro.serve.engine import (
+    BatchTicket,
+    Engine,
+    EngineClosedError,
+    EngineSaturatedError,
+    EngineStats,
+    OpTicket,
+    empty_result_batch,
+    slice_result_batch,
+)
+from repro.serve.scheduler import TickConfig, TickTrigger
+
+__all__ = [
+    "BatchTicket",
+    "Engine",
+    "EngineClosedError",
+    "EngineSaturatedError",
+    "EngineStats",
+    "OpTicket",
+    "TickConfig",
+    "TickTrigger",
+    "empty_result_batch",
+    "slice_result_batch",
+]

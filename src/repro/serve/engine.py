@@ -1,0 +1,750 @@
+"""The serving engine: multi-client admission over the mixed-op planner.
+
+:class:`Engine` is the execution surface the ROADMAP's serving story
+needs: many concurrent clients :meth:`~Engine.submit` single operations
+(or :meth:`~Engine.submit_batch` columnar batches) and get future-style
+tickets back, while the engine turns the combined stream into the few
+large bulk-synchronous ticks the paper's structures want.  Three pieces:
+
+* **Admission** — a thread-safe FIFO queue of submissions with a
+  backpressure bound (``max_queue_depth`` of :class:`TickConfig`);
+  ``submit`` blocks — or raises :class:`EngineSaturatedError` with
+  ``timeout=0`` — once the bound is hit.
+* **Adaptive tick scheduler** — the dual-trigger policy of
+  :mod:`repro.serve.scheduler`: a tick is cut when the queue reaches the
+  target tick size *or* when the oldest queued operation has lingered past
+  the deadline, so throughput is batch-optimal under load and latency is
+  bounded when traffic is light.
+* **Pipelined executor** — tick *N+1* is planned (one stable multisplit by
+  opcode, :func:`repro.api.planner.plan_batch`, on the engine's own
+  planning device) while tick *N* executes on the backend
+  (:func:`repro.api.planner.execute_plan`), the plan/execute split this PR
+  introduces.  Execution preserves the SNAPSHOT/STRICT consistency
+  contract and the epoch-pinning guarantee of the planner unchanged; a
+  sharded backend fans each tick across its shards through the existing
+  one-multisplit route.
+
+The engine also serves as the substrate of the single-client facade:
+:meth:`KVStore.apply <repro.api.kvstore.KVStore.apply>` delegates to
+:meth:`Engine.apply`, which runs one caller-formed tick inline (no queue,
+no threads) through the same plan/execute path and the same telemetry.
+
+Telemetry (:meth:`Engine.stats`) follows the conventions of
+:mod:`repro.gpu.profiler`: simulated seconds from the device counters,
+``rate_m_per_s`` via the cost model, and latency percentiles through
+:func:`repro.gpu.profiler.percentile_summary`.
+"""
+
+from __future__ import annotations
+
+import collections
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.ops import Op, OpBatch, OpResult, ResultBatch
+from repro.api.planner import (
+    Consistency,
+    Plan,
+    _backend_device,
+    execute_plan,
+    plan_batch,
+)
+from repro.gpu.cost_model import CostModel
+from repro.gpu.device import Device
+from repro.gpu.profiler import percentile_summary
+from repro.scale.protocol import simulated_seconds
+from repro.serve.scheduler import TickConfig, TickTrigger
+
+
+class EngineClosedError(RuntimeError):
+    """The engine is not accepting submissions (not started, or closed)."""
+
+
+class EngineSaturatedError(RuntimeError):
+    """Admission backpressure: the queue is at ``max_queue_depth`` and the
+    caller asked not to wait (``timeout=0``)."""
+
+
+def slice_result_batch(result: ResultBatch, lo: int, hi: int) -> ResultBatch:
+    """The rows ``[lo, hi)`` of a tick's results as their own batch.
+
+    A tick coalesces whole client submissions contiguously, so one
+    client's answers are a row slice; the range payload is re-based onto
+    the slice's own offsets.
+    """
+    sub_request = result.request.slice(lo, hi)
+    offsets = result.range_offsets
+    base = int(offsets[lo])
+    return ResultBatch(
+        request=sub_request,
+        statuses=result.statuses[lo:hi],
+        found=result.found[lo:hi],
+        values=None if result.values is None else result.values[lo:hi],
+        counts=result.counts[lo:hi],
+        range_offsets=offsets[lo : hi + 1] - base,
+        range_keys=result.range_keys[base : int(offsets[hi])],
+        range_values=(
+            None
+            if result.range_values is None
+            else result.range_values[base : int(offsets[hi])]
+        ),
+        errors={i - lo: e for i, e in result.errors.items() if lo <= i < hi},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Tickets
+# ---------------------------------------------------------------------- #
+class _Ticket:
+    """Future-style handle shared by single-op and batch submissions."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the operation's tick has executed (or failed)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def _get(self, timeout: Optional[float]):
+        if not self._event.wait(timeout):
+            raise TimeoutError("the operation's tick has not executed yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class OpTicket(_Ticket):
+    """Ticket for one submitted :class:`~repro.api.ops.Op`.
+
+    :meth:`result` blocks until the operation's tick has executed and
+    returns the typed :class:`~repro.api.ops.OpResult`; if the tick failed
+    (a backend rejection, a snapshot violation) the failure is re-raised
+    here instead.
+    """
+
+    def result(self, timeout: Optional[float] = None) -> OpResult:
+        return self._get(timeout)
+
+
+class BatchTicket(_Ticket):
+    """Ticket for one submitted :class:`~repro.api.ops.OpBatch`.
+
+    Resolves to the submission's own request-ordered
+    :class:`~repro.api.ops.ResultBatch` (sliced out of the tick it rode
+    in).
+    """
+
+    def result(self, timeout: Optional[float] = None) -> ResultBatch:
+        return self._get(timeout)
+
+
+@dataclass
+class _Entry:
+    """One admitted submission waiting in the queue."""
+
+    batch: OpBatch
+    ticket: _Ticket
+    t_submit: float
+    seq: int
+
+    @property
+    def size(self) -> int:
+        return self.batch.size
+
+
+@dataclass
+class _FormedTick:
+    """One cut tick on its way through the plan → execute pipeline."""
+
+    batch: OpBatch
+    entries: List[_Entry]
+    offsets: List[int]  # row offset of each entry inside ``batch``
+    trigger: TickTrigger
+    t_formed: float
+    last_seq: int
+
+
+def _pow2_bucket(size: int) -> int:
+    """Upper bound of the power-of-two histogram bucket holding ``size``."""
+    return 1 << max(0, int(size - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Snapshot of the engine's serving telemetry.
+
+    Latencies are wall-clock seconds (submit → ticket resolved for
+    operations, tick cut → executed for ticks); ``simulated_seconds`` is
+    the backend device time the engine's ticks consumed and
+    ``plan_seconds`` the planning-device time (overlapped with execution
+    when the engine is running threaded).
+    """
+
+    ticks: int
+    failed_ticks: int
+    ops_completed: int
+    queue_depth: int
+    max_queue_depth_seen: int
+    mean_tick_size: float
+    tick_size_histogram: Dict[int, int]
+    triggers: Dict[str, int]
+    op_latency: Dict[str, float]
+    tick_latency: Dict[str, float]
+    simulated_seconds: float
+    plan_seconds: float
+    wall_seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        """Completed operations per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return float("nan")
+        return self.ops_completed / self.wall_seconds
+
+    @property
+    def simulated_rate_m_per_s(self) -> float:
+        """Millions of operations per *simulated* second (profiler units)."""
+        return CostModel.rate_m_per_s(self.ops_completed, self.simulated_seconds)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Flat dict rows in the profiler's ``summary_rows`` convention."""
+        return [
+            {
+                "region": "serve.engine",
+                "items": self.ops_completed,
+                "ticks": self.ticks,
+                "failed_ticks": self.failed_ticks,
+                "mean_tick_size": self.mean_tick_size,
+                "simulated_ms": self.simulated_seconds * 1e3,
+                "rate_m_per_s": self.simulated_rate_m_per_s,
+                "plan_ms": self.plan_seconds * 1e3,
+                "queue_depth": self.queue_depth,
+                "p50_latency_ms": self.op_latency.get("p50", float("nan")) * 1e3,
+                "p95_latency_ms": self.op_latency.get("p95", float("nan")) * 1e3,
+                "p99_latency_ms": self.op_latency.get("p99", float("nan")) * 1e3,
+            }
+        ]
+
+
+#: Bounded latency-sample memory: enough for every test/benchmark scale
+#: while keeping a long-lived engine's footprint flat.
+_LATENCY_SAMPLES = 1 << 16
+
+
+class Engine:
+    """Multi-client serving engine over one dictionary backend.
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`~repro.scale.protocol.DictionaryProtocol` backend —
+        a :class:`~repro.core.lsm.GPULSM`, a
+        :class:`~repro.scale.sharded.ShardedLSM` (ticks fan out across its
+        shards through the one-multisplit route), or a baseline.
+    config:
+        The :class:`~repro.serve.scheduler.TickConfig` of the adaptive
+        tick scheduler.
+    consistency:
+        Intra-tick ordering applied to every scheduler-formed tick.
+        Multi-client coalescing makes tick boundaries traffic-dependent,
+        so STRICT is the mode whose answers are independent of where ticks
+        are cut (arrival order is always honoured); SNAPSHOT gives each
+        tick's queries the pre-tick state, which clients observe through
+        their ticket's tick assignment.
+    plan_device:
+        Device the planner's kernels are recorded on.  Defaults to the
+        backend's own device for inline use; :meth:`start` allocates a
+        dedicated planning device so threaded planning never races the
+        executor's backend devices.
+
+    Usage::
+
+        with Engine(backend, TickConfig(target_tick_size=1024)) as engine:
+            ticket = engine.submit(Op.lookup(42))
+            ...
+            print(ticket.result().found)
+    """
+
+    def __init__(
+        self,
+        backend,
+        config: Optional[TickConfig] = None,
+        consistency: Consistency = Consistency.SNAPSHOT,
+        plan_device: Optional[Device] = None,
+    ) -> None:
+        self.backend = backend
+        self.config = config or TickConfig()
+        self.consistency = Consistency(consistency)
+        self._plan_device = plan_device
+
+        self._cond = threading.Condition()
+        self._queue: Deque[_Entry] = collections.deque()
+        self._queued_ops = 0
+        self._seq = 0
+        self._completed_seq = 0
+        self._flush_requested = False
+        self._started = False
+        self._closing = False
+        self._closed = False
+        self._scheduler_thread: Optional[threading.Thread] = None
+        self._executor_thread: Optional[threading.Thread] = None
+        #: Hand-off of planned ticks; depth 1 = plan N+1 while N executes.
+        self._exec_queue: "queue_module.Queue" = queue_module.Queue(maxsize=1)
+        #: Serialises backend access between the executor thread and
+        #: inline :meth:`apply` calls.
+        self._exec_lock = threading.Lock()
+
+        # Telemetry (all mutated under self._cond).
+        self._ticks = 0
+        self._failed_ticks = 0
+        self._ops_done = 0
+        self._tick_sizes: Dict[int, int] = {}
+        self._tick_size_sum = 0
+        self._triggers: Dict[str, int] = {}
+        self._op_latencies: Deque[float] = collections.deque(maxlen=_LATENCY_SAMPLES)
+        self._tick_latencies: Deque[float] = collections.deque(maxlen=_LATENCY_SAMPLES)
+        self._sim_seconds_total = 0.0
+        self._plan_seconds_total = 0.0
+        self._max_queue_seen = 0
+        self._t_first: Optional[float] = None
+        self._t_last_done: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "Engine":
+        """Start the scheduler and executor threads (idempotent)."""
+        with self._cond:
+            if self._closed:
+                raise EngineClosedError("the engine has been closed")
+            if self._started:
+                return self
+            if self._plan_device is None:
+                # A dedicated planning device: threaded planning of tick
+                # N+1 must not race the executor's kernels for tick N on
+                # the backend's devices.
+                self._plan_device = Device(_backend_device(self.backend).spec)
+            self._started = True
+        self._scheduler_thread = threading.Thread(
+            target=self._scheduler_loop, name="serve-scheduler", daemon=True
+        )
+        self._executor_thread = threading.Thread(
+            target=self._executor_loop, name="serve-executor", daemon=True
+        )
+        self._scheduler_thread.start()
+        self._executor_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Drain everything queued as final flush ticks, then stop."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not self._started:
+                return
+            self._closing = True
+            self._cond.notify_all()
+        assert self._scheduler_thread and self._executor_thread
+        self._scheduler_thread.join()
+        self._executor_thread.join()
+        with self._cond:
+            self._started = False
+
+    def __enter__(self) -> "Engine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._closed
+
+    @property
+    def queue_depth(self) -> int:
+        """Operations admitted but not yet cut into a tick."""
+        with self._cond:
+            return self._queued_ops
+
+    @property
+    def ticks(self) -> int:
+        """Ticks executed successfully so far."""
+        with self._cond:
+            return self._ticks
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def submit(self, op: Op, timeout: Optional[float] = None) -> OpTicket:
+        """Enqueue one operation; returns its future-style ticket.
+
+        Blocks while the queue is at the backpressure bound; ``timeout=0``
+        raises :class:`EngineSaturatedError` immediately instead, any
+        other timeout raises it once the wait expires.
+        """
+        ticket = OpTicket()
+        self._admit(OpBatch.from_ops([op]), ticket, timeout)
+        return ticket
+
+    def submit_batch(
+        self, batch: OpBatch, timeout: Optional[float] = None
+    ) -> BatchTicket:
+        """Enqueue one columnar batch as a unit (never split across ticks).
+
+        The ticket resolves to the submission's own request-ordered
+        :class:`~repro.api.ops.ResultBatch`.  A batch larger than the
+        backpressure bound is admitted once the queue is empty.
+        """
+        if not isinstance(batch, OpBatch):
+            raise TypeError(
+                f"submit_batch expects an OpBatch, got {type(batch).__name__}"
+            )
+        ticket = BatchTicket()
+        if batch.size == 0:
+            ticket._resolve(empty_result_batch())
+            return ticket
+        self._admit(batch, ticket, timeout)
+        return ticket
+
+    def _admit(
+        self, batch: OpBatch, ticket: _Ticket, timeout: Optional[float]
+    ) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed or self._closing:
+                    raise EngineClosedError(
+                        "the engine is closed and not accepting submissions"
+                    )
+                if not self._started:
+                    raise EngineClosedError(
+                        "the engine is not running; call start() (or use "
+                        "apply() for the single-client inline path)"
+                    )
+                fits = (
+                    self._queued_ops + batch.size <= self.config.max_queue_depth
+                    or self._queued_ops == 0
+                )
+                if fits:
+                    break
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise EngineSaturatedError(
+                        f"admission queue is at its backpressure bound "
+                        f"({self._queued_ops} queued ops, bound "
+                        f"{self.config.max_queue_depth})"
+                    )
+                self._cond.wait(remaining)
+            now = time.monotonic()
+            self._seq += 1
+            self._queue.append(
+                _Entry(batch=batch, ticket=ticket, t_submit=now, seq=self._seq)
+            )
+            self._queued_ops += batch.size
+            self._max_queue_seen = max(self._max_queue_seen, self._queued_ops)
+            if self._t_first is None:
+                self._t_first = now
+            self._cond.notify_all()
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Cut everything currently queued into ticks and wait for them."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if not self._started:
+                return
+            target = self._seq
+            if self._completed_seq >= target:
+                return
+            self._flush_requested = True
+            self._cond.notify_all()
+            while self._completed_seq < target:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("flush timed out")
+                self._cond.wait(remaining)
+
+    # ------------------------------------------------------------------ #
+    # Inline single-client path (the KVStore substrate)
+    # ------------------------------------------------------------------ #
+    def apply(
+        self, batch: OpBatch, consistency: Optional[Consistency] = None
+    ) -> ResultBatch:
+        """Run one caller-formed tick inline, bypassing admission.
+
+        This is the single-client view :class:`~repro.api.kvstore.KVStore`
+        is rebased on: no queue, no threads, but the same plan → execute
+        path and the same telemetry as scheduler-formed ticks.  Safe to
+        call while the engine is running threaded (it serialises with the
+        executor on the backend).
+        """
+        mode = self.consistency if consistency is None else Consistency(consistency)
+        # Inline ticks always plan on the backend's own device: the
+        # scheduler thread owns the dedicated planning device, and the
+        # backend devices are quiescent while we hold the executor lock.
+        plan_device = _backend_device(self.backend)
+        t0 = time.monotonic()
+        failed = False
+        with self._exec_lock:
+            plan_before = plan_device.simulated_seconds
+            plan = plan_batch(batch, consistency=mode, device=plan_device)
+            plan_delta = plan_device.simulated_seconds - plan_before
+            sim_before = simulated_seconds(self.backend)
+            try:
+                result = execute_plan(batch, plan, self.backend)
+            except Exception:
+                failed = True
+                raise
+            finally:
+                sim_delta = simulated_seconds(self.backend) - sim_before
+                t1 = time.monotonic()
+                self._record_tick(
+                    size=batch.size,
+                    trigger=TickTrigger.DIRECT,
+                    op_latencies=[t1 - t0] * batch.size,
+                    tick_latency=t1 - t0,
+                    sim_seconds=sim_delta + plan_delta,
+                    plan_seconds=plan_delta,
+                    t_done=t1,
+                    failed=failed,
+                )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Scheduler / executor threads
+    # ------------------------------------------------------------------ #
+    def _cut_tick_locked(self, trigger: TickTrigger) -> Tuple[List[_Entry], int]:
+        """Pop whole entries until the tick reaches the target size."""
+        entries: List[_Entry] = []
+        total = 0
+        while self._queue and total < self.config.target_tick_size:
+            entry = self._queue.popleft()
+            entries.append(entry)
+            total += entry.size
+        self._queued_ops -= total
+        self._cond.notify_all()  # backpressured submitters may proceed
+        return entries, total
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            tick: Optional[_FormedTick] = None
+            with self._cond:
+                while tick is None:
+                    if self._queue:
+                        if self._closing or self._flush_requested:
+                            trigger = TickTrigger.FLUSH
+                        else:
+                            age = time.monotonic() - self._queue[0].t_submit
+                            trigger = self.config.trigger(self._queued_ops, age)
+                        if trigger is not None:
+                            entries, _ = self._cut_tick_locked(trigger)
+                            tick = self._form_tick(entries, trigger)
+                            break
+                        self._cond.wait(self.config.time_until_deadline(age))
+                        continue
+                    if self._flush_requested:
+                        self._flush_requested = False
+                        self._cond.notify_all()
+                    if self._closing:
+                        break
+                    self._cond.wait()
+            if tick is None:  # closing, queue drained
+                self._exec_queue.put(None)
+                return
+            # Plan outside the lock: this is the pipeline's first stage,
+            # overlapping the executor thread's work on the previous tick.
+            plan_device = self._plan_device
+            plan_before = plan_device.simulated_seconds
+            plan = plan_batch(
+                tick.batch, consistency=self.consistency, device=plan_device
+            )
+            with self._cond:
+                self._plan_seconds_total += (
+                    plan_device.simulated_seconds - plan_before
+                )
+            self._exec_queue.put((tick, plan))
+
+    @staticmethod
+    def _form_tick(entries: List[_Entry], trigger: TickTrigger) -> _FormedTick:
+        offsets: List[int] = []
+        total = 0
+        for entry in entries:
+            offsets.append(total)
+            total += entry.size
+        return _FormedTick(
+            batch=OpBatch.concat([e.batch for e in entries]),
+            entries=entries,
+            offsets=offsets,
+            trigger=trigger,
+            t_formed=time.monotonic(),
+            last_seq=max(e.seq for e in entries),
+        )
+
+    def _executor_loop(self) -> None:
+        while True:
+            item = self._exec_queue.get()
+            if item is None:
+                return
+            tick, plan = item
+            self._execute_tick(tick, plan)
+
+    def _execute_tick(self, tick: _FormedTick, plan: Plan) -> None:
+        error: Optional[BaseException] = None
+        result: Optional[ResultBatch] = None
+        with self._exec_lock:
+            sim_before = simulated_seconds(self.backend)
+            try:
+                result = execute_plan(tick.batch, plan, self.backend)
+            except Exception as exc:  # resolve tickets with the failure
+                error = exc
+            sim_delta = simulated_seconds(self.backend) - sim_before
+        t_done = time.monotonic()
+
+        op_latencies: List[float] = []
+        for entry, offset in zip(tick.entries, tick.offsets):
+            op_latencies.extend([t_done - entry.t_submit] * entry.size)
+            if error is not None:
+                entry.ticket._fail(error)
+            elif isinstance(entry.ticket, BatchTicket):
+                entry.ticket._resolve(
+                    slice_result_batch(result, offset, offset + entry.size)
+                )
+            else:
+                entry.ticket._resolve(result.result(offset))
+
+        self._record_tick(
+            size=tick.batch.size,
+            trigger=tick.trigger,
+            op_latencies=op_latencies,
+            tick_latency=t_done - tick.t_formed,
+            sim_seconds=sim_delta,
+            plan_seconds=0.0,  # planned on the dedicated device, overlapped
+            t_done=t_done,
+            failed=error is not None,
+            last_seq=tick.last_seq,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def _record_tick(
+        self,
+        size: int,
+        trigger: TickTrigger,
+        op_latencies: List[float],
+        tick_latency: float,
+        sim_seconds: float,
+        plan_seconds: float,
+        t_done: float,
+        failed: bool = False,
+        last_seq: Optional[int] = None,
+    ) -> None:
+        with self._cond:
+            if failed:
+                self._failed_ticks += 1
+            else:
+                self._ticks += 1
+                self._ops_done += size
+            bucket = _pow2_bucket(size)
+            self._tick_sizes[bucket] = self._tick_sizes.get(bucket, 0) + 1
+            self._tick_size_sum += size
+            name = trigger.value
+            self._triggers[name] = self._triggers.get(name, 0) + 1
+            self._op_latencies.extend(op_latencies)
+            self._tick_latencies.append(tick_latency)
+            self._sim_seconds_total += sim_seconds
+            self._plan_seconds_total += plan_seconds
+            if self._t_first is None:
+                self._t_first = t_done - tick_latency
+            self._t_last_done = t_done
+            if last_seq is not None:
+                self._completed_seq = max(self._completed_seq, last_seq)
+            self._cond.notify_all()
+
+    def stats(self) -> EngineStats:
+        """A consistent snapshot of the serving telemetry."""
+        with self._cond:
+            total_ticks = self._ticks + self._failed_ticks
+            op_lat = percentile_summary(self._op_latencies)
+            op_lat["mean"] = (
+                float(np.mean(self._op_latencies))
+                if self._op_latencies
+                else float("nan")
+            )
+            tick_lat = percentile_summary(self._tick_latencies)
+            tick_lat["mean"] = (
+                float(np.mean(self._tick_latencies))
+                if self._tick_latencies
+                else float("nan")
+            )
+            wall = (
+                (self._t_last_done - self._t_first)
+                if self._t_first is not None and self._t_last_done is not None
+                else 0.0
+            )
+            return EngineStats(
+                ticks=self._ticks,
+                failed_ticks=self._failed_ticks,
+                ops_completed=self._ops_done,
+                queue_depth=self._queued_ops,
+                max_queue_depth_seen=self._max_queue_seen,
+                mean_tick_size=(
+                    self._tick_size_sum / total_ticks if total_ticks else float("nan")
+                ),
+                tick_size_histogram=dict(sorted(self._tick_sizes.items())),
+                triggers=dict(self._triggers),
+                op_latency=op_lat,
+                tick_latency=tick_lat,
+                simulated_seconds=self._sim_seconds_total,
+                plan_seconds=self._plan_seconds_total,
+                wall_seconds=wall,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "running" if self.running else ("closed" if self._closed else "idle")
+        return (
+            f"Engine(backend={type(self.backend).__name__}, {state}, "
+            f"target={self.config.target_tick_size}, ticks={self._ticks})"
+        )
+
+
+def empty_result_batch() -> ResultBatch:
+    """A fresh zero-operation :class:`~repro.api.ops.ResultBatch` — what
+    an empty commit resolves to without running a planner tick.  (Fresh
+    per call: the ``errors`` dict and the column arrays are mutable, so
+    handing every caller the same instance would let one caller corrupt
+    the next.)"""
+    return ResultBatch(
+        request=OpBatch.empty(),
+        statuses=np.zeros(0, dtype=np.uint8),
+        found=np.zeros(0, dtype=bool),
+        values=None,
+        counts=np.zeros(0, dtype=np.int64),
+        range_offsets=np.zeros(1, dtype=np.int64),
+        range_keys=np.zeros(0, dtype=np.uint64),
+        range_values=None,
+        errors={},
+    )

@@ -407,6 +407,23 @@ class TestSessions:
         assert len(result) == 2
         assert ticket.result().op.key == 1 and ticket.result().ok
 
+    def test_empty_commit_is_a_pure_no_op(self):
+        """Zero pending ops: no planner tick, no epoch bump, empty result."""
+        store = KVStore(batch_size=8, device=Device(K40C_SPEC, seed=0))
+        store.apply(OpBatch.inserts(np.array([1]), np.array([10])))
+        session = store.session()
+        ticks_before, epoch_before = store.ticks, store.epoch
+        result = session.commit()
+        assert len(result) == 0 and result.ok
+        assert store.ticks == ticks_before  # no planner tick ran
+        assert store.epoch == epoch_before  # no epoch bump
+        assert session.ticks_committed == 0  # nothing recorded
+        # Ticket arithmetic stays aligned: the next real commit resolves.
+        ticket = session.lookup(1)
+        session.commit()
+        assert ticket.result().found and ticket.result().value == 10
+        assert store.ticks == ticks_before + 1
+
     def test_extend_enqueues_a_columnar_batch(self):
         store = KVStore(batch_size=8, device=Device(K40C_SPEC, seed=0))
         session = store.session()

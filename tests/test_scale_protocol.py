@@ -11,6 +11,7 @@ from repro.scale import (
     DictionaryProtocol,
     ShardedLSM,
     UnsupportedOperationError,
+    clear_supports_cache,
     supports,
 )
 
@@ -111,6 +112,46 @@ class TestSupportedOperationsDeclarations:
         # insert/count probe with (keys, values)/(k1, k2); lookup/delete
         # with a single key array — the real signatures.
         assert seen == {"insert": 2, "count": 2, "lookup": 1, "delete": 1}
+
+
+class TestSupportsCache:
+    def test_probe_runs_once_per_class_and_operation(self):
+        """Hot-path gate: the empty-batch probe is memoised per class."""
+
+        class Counting:
+            probes = 0
+
+            def lookup(self, keys):
+                type(self).probes += 1
+                return []
+
+        clear_supports_cache()
+        first, second = Counting(), Counting()
+        assert supports(first, "lookup")
+        assert supports(first, "lookup")
+        # A different *instance* of the same class reuses the verdict too:
+        # capabilities are class-level and static.
+        assert supports(second, "lookup")
+        assert Counting.probes == 1
+        # Distinct operations are cached independently.
+        assert not supports(first, "count")
+        assert not supports(first, "count")
+
+    def test_declared_path_is_cached_too(self):
+        class Declared:
+            calls = 0
+
+            @classmethod
+            def supported_operations(cls):
+                cls.calls += 1
+                return {"insert"}
+
+        clear_supports_cache()
+        backend = Declared()
+        assert supports(backend, "insert")
+        assert supports(backend, "insert")
+        assert not supports(backend, "delete")
+        assert Declared.calls == 2  # one evaluation per (class, operation)
 
 
 class TestCuckooIncrementalOps:
