@@ -44,6 +44,7 @@ SCALES = {
         "mixed": dict(num_ops=1 << 14, tick_size=1 << 10),
         "serve": dict(num_ops=1 << 12, target_tick_size=1 << 8,
                       utilisations=(0.5, 0.9, 2.0)),
+        "query_accel": dict(total_elements=1 << 14, queries_per_cell=1 << 11),
     },
     "paper": {
         "table1": dict(small_elements=1 << 12, large_elements=1 << 16, batch_size=1 << 9),
@@ -64,6 +65,7 @@ SCALES = {
         "mixed": dict(num_ops=1 << 17, tick_size=1 << 12),
         "serve": dict(num_ops=1 << 16, target_tick_size=1 << 11,
                       utilisations=(0.5, 0.9, 2.0)),
+        "query_accel": dict(total_elements=1 << 17, queries_per_cell=1 << 13),
     },
 }
 

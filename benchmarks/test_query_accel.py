@@ -1,0 +1,64 @@
+"""Benchmark — query acceleration: fence/Bloom/sorted-probe lookup rates.
+
+Runs the query-acceleration sweep of :mod:`repro.bench.query_accel`: the
+same lookup batches through the unfiltered paper path and the three
+cumulative acceleration modes (fences, fences+Bloom, +sorted-probe) across
+all-hit / zero-hit / Zipf-skewed query populations and the Table III batch
+sizes.  Asserts the PR's acceptance criteria:
+
+* every accelerated mode returns answers bit-identical to the unfiltered
+  path (``answers_match``) — filters may only skip probes that cannot
+  change an answer;
+* ``fences+bloom`` reaches at least **2×** the unfiltered simulated rate
+  on the zero-hit workload (the miss-heavy case the Bloom filters exist
+  for) for every batch size;
+* no accelerated mode regresses the all-hit workload below **0.98×**;
+* the Zipf-skewed workload shows a measurable gain for ``fences+bloom``.
+
+Results are written to ``benchmarks/results/query_accel_rates.csv`` with
+one row per (workload, batch_size, mode) cell — see
+:func:`repro.bench.query_accel.query_accel_rates` for the column schema.
+"""
+
+import os
+
+from repro.bench import query_accel, report
+
+
+def test_query_accel_rates(benchmark, bench_scale, results_dir):
+    params = bench_scale["query_accel"]
+
+    rows = benchmark.pedantic(
+        lambda: query_accel.query_accel_rates(**params), rounds=1, iterations=1
+    )
+
+    # Zero answer changes anywhere: acceleration is pruning, not pruning
+    # of correctness.
+    assert all(row["answers_match"] for row in rows)
+
+    by_cell = {
+        (row["workload"], row["batch_size"], row["mode"]): row for row in rows
+    }
+    batch_sizes = sorted({row["batch_size"] for row in rows})
+    accel_modes = [mode for mode, _ in query_accel.MODES if mode != "none"]
+
+    for b in batch_sizes:
+        # ≥2× on the miss-heavy workload once the Bloom filters are on.
+        assert by_cell[("zero_hit", b, "fences+bloom")]["speedup_vs_none"] >= 2.0
+        # No regression on the all-hit workload in any accelerated mode.
+        for mode in accel_modes:
+            assert by_cell[("all_hit", b, mode)]["speedup_vs_none"] >= 0.98
+        # Measurable gain on the skewed-hit workload.
+        assert by_cell[("zipf", b, "fences+bloom")]["speedup_vs_none"] >= 1.1
+
+    report.write_csv(rows, os.path.join(results_dir, "query_accel_rates.csv"))
+    print()
+    print(
+        report.format_table(
+            rows,
+            title=(
+                "Query acceleration — lookup rates "
+                "(M queries/s, simulated K40c)"
+            ),
+        )
+    )

@@ -29,6 +29,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.encoding import check_non_negative
 from repro.core.lsm import LookupResult, RangeResult
 from repro.gpu.device import Device, get_default_device
 from repro.scale.protocol import UnsupportedOperationError
@@ -384,9 +385,13 @@ class CuckooHashTable:
         slot (the key cannot be stored under a later hash function if an
         earlier slot is empty — the same early exit the CUDPP kernel takes).
         """
-        query_keys = np.asarray(query_keys, dtype=np.uint64)
-        if query_keys.ndim != 1:
+        raw = np.asarray(query_keys)
+        if raw.ndim != 1:
             raise ValueError("lookup expects a one-dimensional query array")
+        # Validate before the unsigned cast: a negative key would wrap into
+        # a huge word and silently probe the wrong slots.  (No 31-bit
+        # domain bound here — the table stores raw uint64 keys.)
+        query_keys = check_non_negative(raw, "query keys").astype(np.uint64)
         nq = query_keys.size
         found = np.zeros(nq, dtype=bool)
         values = np.zeros(nq, dtype=np.uint64)

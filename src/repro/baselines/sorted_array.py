@@ -102,9 +102,7 @@ class GPUSortedArray:
         keys = np.asarray(keys)
         if keys.ndim != 1:
             raise ValueError("keys must be one-dimensional")
-        if keys.size and int(keys.max()) > self.encoder.max_key:
-            raise ValueError("keys exceed the 31-bit original-key domain")
-        return keys
+        return self.encoder.check_query_keys(keys, "keys")
 
     def bulk_build(self, keys: np.ndarray, values: Optional[np.ndarray] = None) -> None:
         """Build from scratch by sorting the input (Section V-B bulk build)."""

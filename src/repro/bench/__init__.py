@@ -17,6 +17,9 @@ One module per concern:
 * :mod:`repro.bench.serve` — beyond the paper: the open-loop serving
   experiment (latency percentiles vs offered load under the adaptive tick
   scheduler of :mod:`repro.serve`).
+* :mod:`repro.bench.query_accel` — beyond the paper: the query
+  acceleration sweep (fence / Bloom / sorted-probe lookup rates against
+  the unfiltered path, across hit / miss / Zipf query populations).
 * :mod:`repro.bench.report` — plain-text and CSV rendering of rows/series.
 
 All experiments accept explicit scale parameters and default to sizes that
@@ -29,7 +32,7 @@ comparison for every table and figure.
 
 from repro.bench.workloads import WorkloadConfig, make_workload
 from repro.bench.runner import ExperimentRunner, RateSummary
-from repro.bench import tables, figures, cleanup_exp, report, serve
+from repro.bench import tables, figures, cleanup_exp, query_accel, report, serve
 
 __all__ = [
     "WorkloadConfig",
@@ -39,6 +42,7 @@ __all__ = [
     "tables",
     "figures",
     "cleanup_exp",
+    "query_accel",
     "report",
     "serve",
 ]

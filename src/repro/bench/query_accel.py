@@ -1,0 +1,214 @@
+"""Query-acceleration experiment: fence / Bloom / sorted-probe lookup rates.
+
+The paper identifies "the random memory accesses required in all binary
+searches" as the lookup bottleneck (Section V-C, Table III): every LOOKUP
+probes *every* occupied level most-recent-first.  The query acceleration
+layer of :mod:`repro.core.filters` prunes those probes; this experiment
+quantifies the effect by running the *same* query batches through four
+cumulative configurations of the same dictionary —
+
+``none``
+    Filters off: the unfiltered paper lookup path (the baseline every
+    speedup column is relative to).
+``fences``
+    Per-level min/max fence pairs only.
+``fences+bloom``
+    Fences plus a per-level Bloom filter (``bloom_bits_per_key`` bits per
+    resident element).
+``fences+bloom+sorted``
+    Everything, plus the sorted-probe mode: the query batch is radix
+    sorted once so per-level probes arrive in key order and earn the
+    larger cached-probe discount.
+
+— across three query populations:
+
+``all_hit`` / ``zero_hit``
+    The two Table III scenarios.  Missing keys are drawn *inside* the
+    resident key range (the dictionary holds only even keys; the misses
+    are odd), so fences cannot prune them and the Bloom filters do the
+    work — the honest version of the miss-heavy case.
+``zipf``
+    Zipf-skewed draws over the resident keys — the hot-key distribution a
+    serving front-end actually sees, where sorting the query batch packs
+    duplicate and near-duplicate keys together.
+
+The dictionary is built through ``r`` genuine insertion cascades (not a
+bulk build) so the levels' key ranges overlap like a live dictionary's
+do, and ``r`` is chosen with several set bits so multiple levels are
+occupied.  Answers are cross-checked against the unfiltered configuration
+for every cell: the accelerated paths must return bit-identical results.
+
+Results go to ``benchmarks/results/query_accel_rates.csv``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.runner import PAPER_QUERY_ELEMENTS, ExperimentRunner, scaled_spec
+from repro.core.config import LSMConfig
+from repro.core.lsm import GPULSM, LookupResult
+from repro.gpu.spec import GPUSpec
+
+#: The four cumulative acceleration modes, in presentation order.
+MODES: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    ("none", {}),
+    ("fences", {"enable_fences": True}),
+    ("fences+bloom", {"enable_fences": True, "bloom_bits_per_key": 10}),
+    (
+        "fences+bloom+sorted",
+        {"enable_fences": True, "bloom_bits_per_key": 10, "sort_queries": True},
+    ),
+)
+
+WORKLOADS = ("all_hit", "zero_hit", "zipf")
+
+
+def _resident_batches(max_batches: int) -> int:
+    """Pick an ``r`` with several set bits (several occupied levels).
+
+    ``max_batches`` is usually a power of two, which would occupy a single
+    level and hide the multi-level probe cost the filters attack;
+    ``max_batches - 1`` is all-ones in binary — every level that can be
+    full is full, the paper's worst case for queries.
+    """
+    return max(1, max_batches - 1)
+
+
+def _build_lsm(
+    batch_size: int,
+    data_keys: np.ndarray,
+    data_values: np.ndarray,
+    mode_kwargs: Dict[str, object],
+    spec: GPUSpec,
+) -> Tuple[GPULSM, ExperimentRunner]:
+    runner = ExperimentRunner(spec)
+    lsm = GPULSM(
+        config=LSMConfig(batch_size=batch_size, **mode_kwargs),
+        device=runner.device,
+    )
+    for start in range(0, data_keys.size, batch_size):
+        stop = start + batch_size
+        lsm.insert(data_keys[start:stop], data_values[start:stop])
+    return lsm, runner
+
+
+def _make_queries(
+    kind: str, data_keys: np.ndarray, num_queries: int, rng: np.random.Generator
+) -> np.ndarray:
+    if kind == "all_hit":
+        return rng.choice(data_keys, num_queries)
+    if kind == "zero_hit":
+        # The dictionary holds even keys only; odd keys are guaranteed
+        # misses that still fall inside every level's fence range.
+        return rng.choice(data_keys, num_queries).astype(np.uint64) + 1
+    if kind == "zipf":
+        ranks = rng.zipf(1.3, num_queries)
+        return data_keys[(ranks - 1) % data_keys.size]
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def _results_equal(a: LookupResult, b: LookupResult) -> bool:
+    if not np.array_equal(a.found, b.found):
+        return False
+    if (a.values is None) != (b.values is None):
+        return False
+    if a.values is not None and not np.array_equal(
+        a.values[a.found], b.values[b.found]
+    ):
+        return False
+    return True
+
+
+def query_accel_rates(
+    total_elements: int = 1 << 14,
+    batch_sizes: Optional[Sequence[int]] = None,
+    queries_per_cell: int = 1 << 11,
+    spec: Optional[GPUSpec] = None,
+    seed: int = 61,
+) -> List[Dict[str, object]]:
+    """Run the query-acceleration sweep; returns one row per cell.
+
+    Row schema: ``workload``, ``batch_size``, ``resident_batches``,
+    ``occupied_levels``, ``mode``, ``rate_mqps`` (simulated M queries/s),
+    ``speedup_vs_none``, the filter telemetry of the measured batch
+    (``fence_prune_rate`` / ``bloom_prune_rate`` / ``searched_fraction`` /
+    ``bloom_false_positive_rate``), ``filter_memory_overhead`` (filter
+    bytes over resident data bytes) and ``answers_match`` (cross-check
+    against the unfiltered path — must be true everywhere).
+    """
+    if spec is None:
+        spec = scaled_spec(total_elements, PAPER_QUERY_ELEMENTS)
+    if batch_sizes is None:
+        batch_sizes = [total_elements >> s for s in range(2, 5)]
+        batch_sizes = [b for b in batch_sizes if b >= 256]
+    rng = np.random.default_rng(seed)
+    rows: List[Dict[str, object]] = []
+
+    for b in batch_sizes:
+        r = _resident_batches(total_elements // b)
+        n = r * b
+        # Unique even keys: draw from a half-width space and double.
+        half = rng.permutation(
+            np.arange(1, n + 1, dtype=np.uint64) * ((1 << 29) // (n + 1))
+        )
+        data_keys = (half * 2).astype(np.uint32)
+        data_values = (data_keys // 2).astype(np.uint32)
+
+        # One dictionary per mode, shared by all workloads of this cell.
+        built = {
+            mode: _build_lsm(b, data_keys, data_values, kwargs, spec)
+            for mode, kwargs in MODES
+        }
+
+        for workload in WORKLOADS:
+            queries = _make_queries(workload, data_keys, queries_per_cell, rng)
+            baseline_rate = None
+            baseline_result = None
+            for mode, _ in MODES:
+                lsm, runner = built[mode]
+                stats_before = dict(lsm.filter_stats())
+                result: List[LookupResult] = []
+                rate = runner.measure(
+                    queries.size, lambda: result.append(lsm.lookup(queries))
+                )
+                stats = lsm.filter_stats()
+                pairs = stats["lookup_pairs"] - stats_before["lookup_pairs"]
+
+                def _delta_rate(key: str, denom: float) -> float:
+                    return (
+                        (stats[key] - stats_before[key]) / denom if denom else 0.0
+                    )
+
+                searched = stats["searched"] - stats_before["searched"]
+                if mode == "none":
+                    baseline_rate = rate
+                    baseline_result = result[0]
+                    answers_match = True
+                else:
+                    answers_match = _results_equal(baseline_result, result[0])
+                rows.append(
+                    {
+                        "workload": workload,
+                        "batch_size": b,
+                        "resident_batches": r,
+                        "occupied_levels": lsm.num_occupied_levels,
+                        "mode": mode,
+                        "rate_mqps": rate,
+                        "speedup_vs_none": rate / baseline_rate,
+                        "fence_prune_rate": _delta_rate("fence_pruned", pairs),
+                        "bloom_prune_rate": _delta_rate("bloom_pruned", pairs),
+                        "searched_fraction": searched / pairs if pairs else 1.0,
+                        "bloom_false_positive_rate": _delta_rate(
+                            "bloom_false_positives", searched
+                        ),
+                        "filter_memory_overhead": (
+                            lsm.filter_memory_bytes
+                            / max(1, lsm.memory_usage_bytes - lsm.filter_memory_bytes)
+                        ),
+                        "answers_match": answers_match,
+                    }
+                )
+    return rows

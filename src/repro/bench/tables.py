@@ -319,6 +319,66 @@ def table3_lookup(
     return rows
 
 
+def table3_tidy_rows(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Reshape :func:`table3_lookup` rows into one tidy, rectangular schema.
+
+    The raw rows are presentation-shaped (one wide row per batch size plus
+    a cuckoo row with its own columns), which used to leave the CSV ragged:
+    the cuckoo row had empty LSM columns and two columns nothing else used.
+    The tidy form has exactly five columns, every cell filled:
+
+    ``structure``
+        ``gpu_lsm`` / ``sorted_array`` / ``cuckoo_hash``.
+    ``batch_size``
+        The LSM batch size ``b`` the cell was measured at, or ``full`` for
+        the cuckoo hash table (it is bulk-built once at full size and has
+        no batch-size axis — the paper's table prints it the same way).
+    ``scenario``
+        ``none`` / ``all`` — the Table III query populations.
+    ``metric``
+        ``min`` / ``max`` / ``harmonic_mean`` over the sampled
+        resident-batch counts; structures measured at a single point
+        (the SA's mean column, the cuckoo row) contribute
+        ``harmonic_mean`` rows only.
+    ``rate_mqps``
+        The simulated lookup rate in M queries/s.
+    """
+    tidy: List[Dict[str, object]] = []
+
+    def _add(structure, batch_size, scenario, metric, rate):
+        tidy.append(
+            {
+                "structure": structure,
+                "batch_size": batch_size,
+                "scenario": scenario,
+                "metric": metric,
+                "rate_mqps": rate,
+            }
+        )
+
+    for row in rows:
+        if row["batch_size"] == "cuckoo_hash":
+            for scenario in ("none", "all"):
+                _add(
+                    "cuckoo_hash", "full", scenario, "harmonic_mean",
+                    row[f"lookup_{scenario}_rate"],
+                )
+            continue
+        b = row["batch_size"]
+        for scenario in ("none", "all"):
+            _add("gpu_lsm", b, scenario, "min", row[f"lsm_{scenario}_min"])
+            _add("gpu_lsm", b, scenario, "max", row[f"lsm_{scenario}_max"])
+            _add(
+                "gpu_lsm", b, scenario, "harmonic_mean",
+                row[f"lsm_{scenario}_mean"],
+            )
+            _add(
+                "sorted_array", b, scenario, "harmonic_mean",
+                row[f"sa_{scenario}_mean"],
+            )
+    return tidy
+
+
 # --------------------------------------------------------------------- #
 # Table IV — count and range query rates for two expected widths
 # --------------------------------------------------------------------- #

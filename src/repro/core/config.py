@@ -46,6 +46,33 @@ class LSMConfig:
         When true, the LSM keeps counters of how many tombstones and
         replaced elements it is carrying, which the cleanup policy helpers
         and the benchmark harness report.
+    enable_fences:
+        Query-acceleration knob: keep a per-level fence pair (min/max
+        resident original key) and skip any level a query — or a COUNT /
+        RANGE interval — cannot possibly intersect.  Free at query time
+        (two register compares per level), rebuilt whenever a level is
+        filled.
+    bloom_bits_per_key:
+        Query-acceleration knob: when positive, every level carries a
+        Bloom filter of this many bits per resident element (hash count
+        derived as ``round(bits · ln 2)``; 10 bits/key ≈ 1 % false
+        positives).  LOOKUP probes the filter before binary-searching a
+        level; a negative filter answer skips the level outright, which is
+        what removes the "random memory accesses required in all binary
+        searches" on miss-heavy workloads.  0 disables.  Answers are never
+        affected — filters are status-blind and conservative.
+    sort_queries:
+        Query-acceleration knob: radix-sort each LOOKUP batch once so
+        per-level probes arrive in key order.  Neighbouring sorted queries
+        walk nearly identical binary-search paths, so far more probes hit
+        cache — the paper's own "sort the queries" locality observation —
+        modelled as the larger ``sorted_probe_cached_probes`` discount.
+        Results are scattered back to request order; answers are
+        unchanged.
+    sorted_probe_cached_probes:
+        How many leading binary-search probes are assumed cached when the
+        query batch is sorted (versus the default 2 of
+        :data:`repro.primitives.search.DEFAULT_CACHED_PROBES`).
     """
 
     batch_size: int = 1 << 16
@@ -54,6 +81,10 @@ class LSMConfig:
     max_levels: int = 32
     validate_invariants: bool = False
     track_stale_statistics: bool = True
+    enable_fences: bool = False
+    bloom_bits_per_key: int = 0
+    sort_queries: bool = False
+    sorted_probe_cached_probes: int = 8
 
     def __post_init__(self) -> None:
         if not _is_power_of_two(self.batch_size) or self.batch_size < 2:
@@ -66,6 +97,10 @@ class LSMConfig:
             raise TypeError("value_dtype must be a numeric dtype")
         if self.max_levels < 1 or self.max_levels > 48:
             raise ValueError("max_levels must be in [1, 48]")
+        if not 0 <= self.bloom_bits_per_key <= 64:
+            raise ValueError("bloom_bits_per_key must be in [0, 64]")
+        if self.sorted_probe_cached_probes < 0:
+            raise ValueError("sorted_probe_cached_probes must be non-negative")
         object.__setattr__(self, "key_dtype", key_dtype)
         object.__setattr__(self, "value_dtype", value_dtype)
 
@@ -73,6 +108,11 @@ class LSMConfig:
     def encoder(self) -> KeyEncoder:
         """Key encoder matching :attr:`key_dtype`."""
         return KeyEncoder(self.key_dtype)
+
+    @property
+    def filters_enabled(self) -> bool:
+        """True when any per-level query filter is configured."""
+        return self.enable_fences or self.bloom_bits_per_key > 0
 
     @property
     def max_resident_batches(self) -> int:

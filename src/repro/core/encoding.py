@@ -158,6 +158,41 @@ class KeyEncoder:
         (``x >> 1`` — Fig. 3 line 14)."""
         return self.decode_key(words)
 
+    def check_query_keys(self, keys: np.ndarray, what: str = "query keys") -> np.ndarray:
+        """Validate a batch of original query keys against this encoder.
+
+        The shared up-front check of every query surface (GPU LSM, sharded
+        front-end, sorted array): negative keys are rejected — they cannot
+        exist in the dictionary and would silently wrap when encoded into
+        an unsigned probe word — as are keys above the encoder's domain.
+        """
+        keys = check_non_negative(keys, what)
+        if keys.size and int(keys.max()) > self.max_key:
+            raise ValueError(
+                f"{what} exceed the {self.key_bits - 1}-bit original-key domain"
+            )
+        return keys
+
+
+def check_non_negative(keys: np.ndarray, what: str = "keys") -> np.ndarray:
+    """Reject negative key arrays before any cast to an unsigned dtype.
+
+    Shared by the encoder's domain check and by structures without a
+    31-bit domain (the cuckoo hash table stores raw uint64 keys): a
+    negative key would wrap into a huge unsigned word and silently probe
+    for an unrelated key instead of failing loudly.
+    """
+    keys = np.asarray(keys)
+    # No int() truncation here: a fractional key in (-1, 0) would round to
+    # 0 and slip through, which is exactly the silent-wrap class of bug
+    # this check exists to close.
+    if keys.size and keys.dtype.kind not in "ub" and keys.min() < 0:
+        raise ValueError(
+            f"{what} must be non-negative: negative keys cannot exist in "
+            "the dictionary and would wrap when cast to an unsigned key word"
+        )
+    return keys
+
 
 #: Encoder instance for the paper's default 32-bit configuration.
 DEFAULT_ENCODER = KeyEncoder(np.dtype(np.uint32))

@@ -1,0 +1,299 @@
+"""Per-level query filters: fence pairs and Bloom filters.
+
+The paper identifies "the random memory accesses required in all binary
+searches" as the lookup bottleneck: every LOOKUP walks all occupied levels
+most-recent-first and binary-searches each one (~log r levels × log b random
+probes per query), which is exactly why the one-level GPU SA beats the GPU
+LSM on lookups (Table III).  Classic LSM engines answer this with per-run
+*filters* that prune a level before it is probed:
+
+* a **fence pair** — the minimum and maximum original key resident in the
+  level.  Two register compares per (query, level); after a bulk build,
+  where "smaller keys end up in smaller levels" (Section IV-E), fences are
+  extremely selective, and for COUNT/RANGE they skip every level whose key
+  range does not overlap ``[k1, k2]``.
+* a **Bloom filter** over the level's *original keys* — a bit array of
+  ``bloom_bits_per_key`` bits per resident element with ``k ≈ b·ln 2``
+  derived hash probes.  A negative answer is definitive, so a miss-heavy
+  query stream replaces almost every binary search with a handful of bit
+  probes; a positive answer may be a false positive (~0.8 % at 10
+  bits/key), in which case the binary search simply runs and the answer is
+  unchanged.
+
+Correctness requires the filters to be *status-blind*: the Bloom filter
+and the fences cover tombstones (and stale duplicates) as well as regular
+elements, because a query that finds a tombstone in a recent level must
+stop there — skipping that level would let an older, shadowed copy of the
+key answer instead.  Built this way, filters can only skip levels that
+contain **no** element with the queried key, so every pruned probe is a
+probe that could not have changed the answer.
+
+Cost accounting: filter bit probes are charged to the cost model as the
+dedicated ``FILTER`` kernel class (:class:`repro.gpu.cost_model.AccessPattern`)
+— scattered word accesses into a structure small enough to stay resident
+in L2, cheaper than full 32-byte random transactions but short of
+streaming.  Filter memory is owned by the level (and therefore counted in
+``memory_usage_bytes``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gpu.device import Device
+
+#: Bytes touched per Bloom bit probe: one 64-bit word of the bit array.
+FILTER_PROBE_WORD_BYTES = 8
+
+#: splitmix64 finalizer constants (public-domain mixing function); the
+#: same per-key mix a real GPU filter kernel computes in registers.
+_MIX_MUL_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MUL_2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finalizer over a uint64 array."""
+    with np.errstate(over="ignore"):
+        x = x + _GOLDEN
+        x ^= x >> np.uint64(30)
+        x *= _MIX_MUL_1
+        x ^= x >> np.uint64(27)
+        x *= _MIX_MUL_2
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def derive_num_hashes(bits_per_key: int) -> int:
+    """Optimal Bloom hash count ``k = round(b · ln 2)`` for ``b`` bits/key."""
+    if bits_per_key <= 0:
+        raise ValueError("bits_per_key must be positive")
+    return max(1, int(round(bits_per_key * math.log(2))))
+
+
+class BloomFilter:
+    """A vectorised Bloom filter over original (decoded) keys.
+
+    The bit array is stored as 64-bit words; positions are derived by
+    double hashing (``pos_i = (h1 + i·h2) mod m``), the standard
+    construction that preserves the false-positive bound with two
+    independent hashes.  Queries early-exit at the first unset bit exactly
+    like the real probe kernel, and the recorded filter traffic reflects
+    the probes actually made.
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        # Round up to whole words; the modulus is the usable bit count.
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        self.words = np.zeros(-(-self.num_bits // 64), dtype=np.uint64)
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes held by the bit array."""
+        return int(self.words.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Hashing
+    # ------------------------------------------------------------------ #
+    def _positions(self, keys: np.ndarray, i: int) -> np.ndarray:
+        """Bit positions of hash ``i`` for every key (double hashing)."""
+        k = np.asarray(keys).astype(np.uint64)
+        h1 = _splitmix64(k)
+        h2 = _splitmix64(k ^ _MIX_MUL_1) | np.uint64(1)
+        with np.errstate(over="ignore"):
+            pos = h1 + np.uint64(i) * h2
+        return (pos % np.uint64(self.num_bits)).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Build / probe
+    # ------------------------------------------------------------------ #
+    def add(self, keys: np.ndarray) -> None:
+        """Set the ``num_hashes`` bits of every key (no traffic recorded —
+        the caller accounts the build as one fused kernel)."""
+        for i in range(self.num_hashes):
+            pos = self._positions(keys, i)
+            np.bitwise_or.at(
+                self.words, pos >> 6, np.uint64(1) << (pos & 63).astype(np.uint64)
+            )
+
+    def maybe_contains(
+        self,
+        keys: np.ndarray,
+        device: Optional[Device] = None,
+        kernel_name: str = "filters.bloom_probe",
+    ) -> np.ndarray:
+        """Boolean mask: False means *definitely absent*, True means maybe.
+
+        Probes early-exit at the first unset bit; the traffic recorded is
+        the number of word reads actually performed, charged as filter
+        probes.
+        """
+        keys = np.asarray(keys)
+        n = keys.size
+        maybe = np.ones(n, dtype=bool)
+        probes_made = 0
+        for i in range(self.num_hashes):
+            live = np.flatnonzero(maybe)
+            if live.size == 0:
+                break
+            probes_made += live.size
+            pos = self._positions(keys[live], i)
+            bits = (self.words[pos >> 6] >> (pos & 63).astype(np.uint64)) & np.uint64(1)
+            maybe[live[bits == 0]] = False
+        if device is not None and n:
+            device.record_kernel(
+                kernel_name,
+                coalesced_read_bytes=keys.nbytes,
+                coalesced_write_bytes=n,  # one verdict byte per query
+                filter_read_bytes=probes_made * FILTER_PROBE_WORD_BYTES,
+                work_items=n,
+            )
+        return maybe
+
+
+@dataclass
+class LevelFilters:
+    """The query filters attached to one resident LSM level.
+
+    ``min_key`` / ``max_key`` are the fence pair over the level's original
+    keys (``None`` when fences are disabled); ``bloom`` is the level's
+    Bloom filter (``None`` when disabled).  Both are status-blind — built
+    over every resident element, tombstones included — which is what makes
+    pruning answer-preserving (see the module docstring).
+    """
+
+    min_key: Optional[int] = None
+    max_key: Optional[int] = None
+    bloom: Optional[BloomFilter] = None
+
+    @property
+    def has_fences(self) -> bool:
+        return self.min_key is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes the filters occupy (fences live in the level header)."""
+        fence_bytes = 16 if self.has_fences else 0
+        return fence_bytes + (self.bloom.nbytes if self.bloom is not None else 0)
+
+    @classmethod
+    def build(
+        cls,
+        original_keys: np.ndarray,
+        *,
+        enable_fences: bool,
+        bloom_bits_per_key: int,
+        device: Optional[Device] = None,
+        kernel_name: str = "filters.build",
+    ) -> "LevelFilters":
+        """Build the filters for one level out of its decoded key column.
+
+        Accounted as one fused kernel: a single coalesced pass over the
+        keys (the min/max reduction and the hash computation read the same
+        stream) plus scattered filter-class writes for the Bloom bit sets.
+        """
+        original_keys = np.asarray(original_keys)
+        n = original_keys.size
+        filters = cls()
+        if enable_fences and n:
+            filters.min_key = int(original_keys.min())
+            filters.max_key = int(original_keys.max())
+        bloom_write_bytes = 0
+        if bloom_bits_per_key > 0 and n:
+            num_hashes = derive_num_hashes(bloom_bits_per_key)
+            bloom = BloomFilter(
+                num_bits=max(64, n * bloom_bits_per_key), num_hashes=num_hashes
+            )
+            bloom.add(original_keys)
+            filters.bloom = bloom
+            bloom_write_bytes = n * num_hashes * FILTER_PROBE_WORD_BYTES
+        if device is not None and n:
+            device.record_kernel(
+                kernel_name,
+                coalesced_read_bytes=original_keys.nbytes,
+                filter_write_bytes=bloom_write_bytes,
+                work_items=n,
+            )
+        return filters
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+    def fence_mask(self, keys: np.ndarray) -> Optional[np.ndarray]:
+        """Per-key mask of ``min_key <= key <= max_key`` (None = no fences)."""
+        if not self.has_fences:
+            return None
+        k = np.asarray(keys).astype(np.int64)
+        return (k >= self.min_key) & (k <= self.max_key)
+
+    def fence_overlap(self, k1: np.ndarray, k2: np.ndarray) -> Optional[np.ndarray]:
+        """Per-range mask of ``[k1, k2] ∩ [min_key, max_key] ≠ ∅``."""
+        if not self.has_fences:
+            return None
+        lo = np.asarray(k1).astype(np.int64)
+        hi = np.asarray(k2).astype(np.int64)
+        return (hi >= self.min_key) & (lo <= self.max_key)
+
+
+@dataclass
+class FilterStatsCounter:
+    """Lifetime pruning statistics of one dictionary's query filters.
+
+    ``lookup_pairs`` counts the (query, level) probe candidates the lookup
+    path considered; each candidate is either fence-pruned, Bloom-pruned,
+    or binary-searched.  ``bloom_false_positives`` counts searched pairs
+    that passed a Bloom filter but found no matching key in the level —
+    the price of the probabilistic filter.  ``range_pairs`` /
+    ``range_fence_pruned`` are the COUNT/RANGE equivalents (fences only;
+    Bloom filters cannot answer interval questions).
+    """
+
+    lookup_pairs: int = 0
+    fence_pruned: int = 0
+    bloom_pruned: int = 0
+    searched: int = 0
+    bloom_false_positives: int = 0
+    range_pairs: int = 0
+    range_fence_pruned: int = 0
+    filter_memory_bytes: int = 0  # refreshed by the owner on request
+
+    _COUNTERS = (
+        "lookup_pairs",
+        "fence_pruned",
+        "bloom_pruned",
+        "searched",
+        "bloom_false_positives",
+        "range_pairs",
+        "range_fence_pruned",
+    )
+
+    def merge(self, other: "FilterStatsCounter") -> None:
+        """Accumulate another counter into this one (shard aggregation)."""
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.filter_memory_bytes += other.filter_memory_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counters plus derived prune/hit rates, flat for telemetry rows."""
+        out: Dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
+        pairs = self.lookup_pairs
+        out["lookup_prune_rate"] = (
+            (self.fence_pruned + self.bloom_pruned) / pairs if pairs else 0.0
+        )
+        out["fence_prune_rate"] = self.fence_pruned / pairs if pairs else 0.0
+        out["bloom_prune_rate"] = self.bloom_pruned / pairs if pairs else 0.0
+        out["searched_fraction"] = self.searched / pairs if pairs else 1.0
+        out["bloom_false_positive_rate"] = (
+            self.bloom_false_positives / self.searched if self.searched else 0.0
+        )
+        out["range_prune_rate"] = (
+            self.range_fence_pruned / self.range_pairs if self.range_pairs else 0.0
+        )
+        return out

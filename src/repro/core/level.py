@@ -19,6 +19,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.core.filters import LevelFilters
 from repro.core.run import SortedRun
 
 
@@ -40,11 +41,16 @@ class Level:
         The resident sorted run of exactly ``capacity`` elements, or
         ``None`` when the level is empty.  The run's value column stays
         ``None`` in key-only dictionaries.
+    filters:
+        Optional query filters (fence pair / Bloom filter) over the
+        resident run, attached by the LSM right after a fill when the
+        configuration enables them; cleared with the level.
     """
 
     index: int
     capacity: int
     run: Optional[SortedRun] = None
+    filters: Optional[LevelFilters] = None
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -81,8 +87,13 @@ class Level:
 
     @property
     def nbytes(self) -> int:
-        """Bytes of device memory the level currently occupies."""
-        return 0 if self.run is None else self.run.nbytes
+        """Bytes of device memory the level currently occupies, its query
+        filters included."""
+        if self.run is None:
+            return 0
+        return self.run.nbytes + (
+            self.filters.nbytes if self.filters is not None else 0
+        )
 
     # ------------------------------------------------------------------ #
     # State transitions
@@ -118,6 +129,7 @@ class Level:
     def clear(self) -> None:
         """Empty the level (after its contents were merged downwards)."""
         self.run = None
+        self.filters = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "full" if self.is_full else "empty"

@@ -30,11 +30,13 @@ import numpy as np
 from repro.core.batch import UpdateBatch, build_update_batch
 from repro.core.config import LSMConfig
 from repro.core.encoding import KeyEncoder, STATUS_REGULAR
+from repro.core.filters import FilterStatsCounter, LevelFilters
 from repro.core.level import Level
 from repro.core.run import SortedRun
 from repro.gpu.device import Device, get_default_device
+from repro.primitives.radix_sort import radix_sort_pairs
 from repro.primitives.scan import exclusive_scan
-from repro.primitives.search import lower_bound, upper_bound
+from repro.primitives.search import DEFAULT_CACHED_PROBES, lower_bound, upper_bound
 
 
 @dataclass
@@ -144,6 +146,9 @@ class GPULSM:
         #: re-insertion, where the raw insertion counter alone would claim
         #: everything is live.
         self._live_keys_upper_bound = 0
+        #: Lifetime pruning statistics of the query acceleration layer
+        #: (fence / Bloom filters); see :meth:`filter_stats`.
+        self._filter_stats = FilterStatsCounter()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -184,6 +189,32 @@ class GPULSM:
     def memory_usage_bytes(self) -> int:
         """Device bytes held by the resident levels."""
         return sum(lvl.nbytes for lvl in self.levels)
+
+    @property
+    def filter_memory_bytes(self) -> int:
+        """Device bytes held by the per-level query filters alone."""
+        return sum(
+            lvl.filters.nbytes
+            for lvl in self.levels
+            if lvl.is_full and lvl.filters is not None
+        )
+
+    def filter_stats(self) -> dict:
+        """Pruning statistics of the query acceleration layer.
+
+        Counters (``lookup_pairs``, ``fence_pruned``, ``bloom_pruned``,
+        ``searched``, ``bloom_false_positives``, ``range_pairs``,
+        ``range_fence_pruned``) plus the derived prune/hit rates and the
+        current filter memory footprint.  The probe-pair counters
+        (``lookup_pairs`` / ``searched`` / ``range_pairs``) tick on every
+        query regardless of configuration — with filters disabled every
+        pair is searched, so the prune counters/rates and the memory
+        footprint stay zero (that is how to tell the layer is off).  The
+        serving engine surfaces this dict through
+        :meth:`repro.serve.engine.Engine.stats`.
+        """
+        self._filter_stats.filter_memory_bytes = self.filter_memory_bytes
+        return self._filter_stats.as_dict()
 
     def __len__(self) -> int:
         return self.num_elements
@@ -283,9 +314,10 @@ class GPULSM:
             self.device.record_kernel(
                 "lsm.store_level",
                 coalesced_read_bytes=0,
-                coalesced_write_bytes=target.nbytes,
+                coalesced_write_bytes=target.run.nbytes,
                 work_items=target.size,
             )
+            self._attach_filters(target)
             self.num_batches += 1
             self.total_insertions += batch.num_insertions
             self.total_deletions += batch.num_deletions
@@ -316,11 +348,7 @@ class GPULSM:
         keys = np.asarray(keys)
         if keys.ndim != 1 or keys.size == 0:
             raise ValueError("bulk_build requires a non-empty 1-D key array")
-        if int(keys.min()) < 0 or int(keys.max()) > self.encoder.max_key:
-            raise ValueError(
-                f"bulk_build keys exceed the {self.encoder.key_bits - 1}-bit "
-                "original-key domain"
-            )
+        self.encoder.check_query_keys(keys, "bulk_build keys")
         if not self.key_only:
             if values is None:
                 raise ValueError("values are required unless key_only=True")
@@ -353,23 +381,38 @@ class GPULSM:
 
             check_lsm_invariants(self)
 
-    def _distribute_sorted(self, run: SortedRun, num_batches: int) -> None:
+    def _distribute_sorted(
+        self, run: SortedRun, num_batches: int, trailing_placebos: int = 0
+    ) -> None:
         """Slice one big sorted run into the levels for ``num_batches``.
 
         Slices are assigned in ascending key order to the occupied levels
         from the smallest to the largest — "smaller keys will end up in
         smaller levels" (Section IV-E) — which is correct because queries
         search every occupied level anyway.
+
+        ``trailing_placebos`` is the number of cleanup-padding placebos at
+        the tail of ``run`` (zero outside cleanup); they land in the last
+        level filled and are excluded from that level's query filters, so
+        a padded level's fence max is its largest *real* key instead of
+        being pinned at ``max_key``.
         """
         for lvl in self.levels:
             lvl.clear()
         offset = 0
+        filled: List[Level] = []
         for i in range(self.config.max_levels):
             if not (num_batches >> i) & 1:
                 continue
             size = self.config.level_capacity(i)
-            self._level(i).fill(run.slice(offset, offset + size))
+            level = self._level(i)
+            level.fill(run.slice(offset, offset + size))
+            filled.append(level)
             offset += size
+        for level in filled:
+            # Padding occupies the tail of the run, i.e. of the last level.
+            exclude = trailing_placebos if level is filled[-1] else 0
+            self._attach_filters(level, trailing_placebos=exclude)
         if offset != run.size:
             raise AssertionError("level distribution did not consume the input")
         self.num_batches = num_batches
@@ -379,6 +422,98 @@ class GPULSM:
             coalesced_write_bytes=run.nbytes,
             work_items=run.size,
         )
+
+    # ------------------------------------------------------------------ #
+    # Query acceleration (fence / Bloom filters)
+    # ------------------------------------------------------------------ #
+    def _attach_filters(self, level: Level, trailing_placebos: int = 0) -> None:
+        """Build the level's query filters right after it is filled.
+
+        Called from every path that fills a level — the insertion cascade,
+        :meth:`bulk_build` / :meth:`cleanup` (both via
+        :meth:`_distribute_sorted`) — so resident filters always describe
+        the resident run.  Filters are status-blind: they cover tombstones
+        and stale duplicates too, which is what makes pruning
+        answer-preserving (see :mod:`repro.core.filters`).
+
+        The one exception is cleanup's *padding* placebos
+        (``trailing_placebos`` tail elements): excluding them keeps the
+        fence max at the largest real key.  This is safe — a padding
+        placebo can never shadow anything (cleanup rebuilt every level, so
+        no older copy of any key survives below it), unlike a *genuine*
+        ``max_key`` tombstone, which is word-identical but arrives through
+        the cascade and therefore stays covered.
+        """
+        if not self.config.filters_enabled:
+            return
+        keys = level.keys
+        if trailing_placebos:
+            keys = keys[: keys.size - trailing_placebos]
+        level.filters = LevelFilters.build(
+            self.encoder.decode_key(keys),
+            enable_fences=self.config.enable_fences,
+            bloom_bits_per_key=self.config.bloom_bits_per_key,
+            device=self.device,
+            kernel_name="lsm.filters.build",
+        )
+
+    def _prune_lookup_pending(
+        self, level: Level, query_keys: np.ndarray, pending: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Filter the still-unresolved queries against one level.
+
+        Returns ``(pending, keys)`` — the subset of ``pending`` whose keys
+        *may* reside in the level, plus the gathered keys themselves (so
+        the caller never re-gathers what this pass already read).
+        Everything dropped here is guaranteed absent from the level, so
+        skipping the binary search cannot change any answer.
+        """
+        stats = self._filter_stats
+        stats.lookup_pairs += int(pending.size)
+        filters = level.filters
+        q = query_keys[pending]
+        if filters is None:
+            return pending, q
+
+        in_fence = filters.fence_mask(q)
+        if in_fence is not None:
+            # Two register compares per query against the level header,
+            # fused into the prologue of the level's probe kernel (hence
+            # ``launches=0``): it reads the pending keys once and emits a
+            # verdict byte.
+            self.device.record_kernel(
+                "lsm.lookup.fence",
+                coalesced_read_bytes=q.nbytes,
+                coalesced_write_bytes=int(pending.size),
+                work_items=int(pending.size),
+                launches=0,
+            )
+            stats.fence_pruned += int(pending.size - np.count_nonzero(in_fence))
+            pending = pending[in_fence]
+            q = q[in_fence]
+        if filters.bloom is not None and pending.size:
+            maybe = filters.bloom.maybe_contains(
+                q, device=self.device, kernel_name="lsm.lookup.bloom"
+            )
+            stats.bloom_pruned += int(pending.size - np.count_nonzero(maybe))
+            pending = pending[maybe]
+            q = q[maybe]
+        return pending, q
+
+    def _sorted_query_order(
+        self, query_keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Radix-sort one LOOKUP batch; original positions ride along.
+
+        Returns ``(sorted_keys, original_positions)``.  Costed as the real
+        kernel would be: one key/position radix sort of the query batch
+        (recorded by the sort primitive itself).
+        """
+        positions = np.arange(query_keys.size, dtype=np.uint32)
+        sorted_keys, order = radix_sort_pairs(
+            query_keys.astype(self.config.key_dtype), positions, device=self.device
+        )
+        return sorted_keys, order.astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -391,32 +526,64 @@ class GPULSM:
         lower-bound search in each (Section IV-B); it stops at the first
         level containing the query key — returning the value if that
         element is regular, "not found" if it is a tombstone.
+
+        With query filters configured (see the ``enable_fences`` /
+        ``bloom_bits_per_key`` knobs of :class:`LSMConfig`), every
+        (query, level) pair is screened first and only the surviving pairs
+        are binary-searched; with ``sort_queries`` the batch is
+        radix-sorted once so per-level probes arrive in key order and earn
+        the larger cached-probe discount.  Neither changes any answer.
         """
         query_keys = np.asarray(query_keys)
         if query_keys.ndim != 1:
             raise ValueError("lookup expects a one-dimensional query array")
         nq = query_keys.size
-
-        found = np.zeros(nq, dtype=bool)
-        values = (
-            None if self.key_only else np.zeros(nq, dtype=self.config.value_dtype)
-        )
         if nq == 0:
-            return LookupResult(found=found, values=values)
-        if query_keys.size and int(query_keys.max()) > self.encoder.max_key:
-            raise ValueError("query keys exceed the 31-bit original-key domain")
+            return LookupResult(
+                found=np.zeros(0, dtype=bool),
+                values=(
+                    None
+                    if self.key_only
+                    else np.zeros(0, dtype=self.config.value_dtype)
+                ),
+            )
+        self.encoder.check_query_keys(query_keys)
 
-        resolved = np.zeros(nq, dtype=bool)
+        levels = self.occupied_levels()
         with self.device.timed_region("lsm.lookup", items=nq):
-            for level in self.occupied_levels():
+            order = None
+            qk = query_keys
+            if self.config.sort_queries and nq > 1 and levels:
+                qk, order = self._sorted_query_order(query_keys)
+            cached_probes = (
+                self.config.sorted_probe_cached_probes
+                if order is not None
+                else DEFAULT_CACHED_PROBES
+            )
+            # The probe word of a query is loop-invariant: encode the whole
+            # batch once and slice per level instead of re-encoding every
+            # level's pending subset.
+            probes = self.encoder.lower_probe(qk)
+
+            resolved = np.zeros(nq, dtype=bool)
+            out_found = np.zeros(nq, dtype=bool)
+            out_values = (
+                None
+                if self.key_only
+                else np.zeros(nq, dtype=self.config.value_dtype)
+            )
+            for level in levels:
                 pending = np.flatnonzero(~resolved)
                 if pending.size == 0:
                     break
-                q = query_keys[pending]
-                probes = self.encoder.lower_probe(q)
+                pending, q = self._prune_lookup_pending(level, qk, pending)
+                if pending.size == 0:
+                    continue
+                self._filter_stats.searched += int(pending.size)
                 pos = lower_bound(
-                    level.keys, probes, device=self.device,
+                    level.keys, probes[pending], device=self.device,
                     kernel_name="lsm.lookup.lower_bound",
+                    cached_probes=cached_probes,
                 )
                 in_range = pos < level.size
                 pos_c = np.minimum(pos, level.size - 1)
@@ -426,13 +593,36 @@ class GPULSM:
                     == q.astype(self.config.key_dtype)
                 )
                 regular = self.encoder.is_regular(words)
+                if level.filters is not None and level.filters.bloom is not None:
+                    self._filter_stats.bloom_false_positives += int(
+                        pending.size - np.count_nonzero(match)
+                    )
 
                 hit = match & regular
                 hit_idx = pending[hit]
-                found[hit_idx] = True
-                if values is not None and level.values is not None:
-                    values[hit_idx] = level.values[pos_c[hit]]
+                out_found[hit_idx] = True
+                if out_values is not None and level.values is not None:
+                    out_values[hit_idx] = level.values[pos_c[hit]]
                 resolved[pending[match]] = True
+
+            if order is None:
+                found, values = out_found, out_values
+            else:
+                # Scatter the answers back to request order.
+                found = np.zeros(nq, dtype=bool)
+                found[order] = out_found
+                values = None
+                if out_values is not None:
+                    values = np.zeros(nq, dtype=out_values.dtype)
+                    values[order] = out_values
+                self.device.record_kernel(
+                    "lsm.lookup.scatter_results",
+                    coalesced_read_bytes=out_found.nbytes
+                    + (out_values.nbytes if out_values is not None else 0),
+                    random_write_bytes=found.nbytes
+                    + (values.nbytes if values is not None else 0),
+                    work_items=nq,
+                )
 
         return LookupResult(found=found, values=values)
 
@@ -507,8 +697,8 @@ class GPULSM:
         if k1.ndim != 1 or k2.shape != k1.shape:
             raise ValueError("k1 and k2 must be one-dimensional and equally long")
         if k1.size:
-            if int(k1.max()) > self.encoder.max_key or int(k2.max()) > self.encoder.max_key:
-                raise ValueError("range bounds exceed the original-key domain")
+            self.encoder.check_query_keys(k1, "range bounds")
+            self.encoder.check_query_keys(k2, "range bounds")
             if np.any(k2 < k1):
                 raise ValueError("every range must satisfy k1 <= k2")
         return k1, k2
@@ -535,19 +725,49 @@ class GPULSM:
             )
             return SortedRun(np.zeros(0, dtype=self.config.key_dtype), empty_vals), offsets
 
-        # Stage 1: per-(query, level) lower/upper bounds and count estimates.
-        lows = np.empty((nq, num_levels), dtype=np.int64)
-        ups = np.empty((nq, num_levels), dtype=np.int64)
+        # Stage 1: per-(query, level) lower/upper bounds and count
+        # estimates.  A level whose fence range does not overlap a query's
+        # ``[k1, k2]`` cannot contribute candidates, so the binary searches
+        # run only for the overlapping (query, level) pairs; the pruned
+        # pairs keep ``lows == ups == 0`` (an empty candidate chunk).
+        lows = np.zeros((nq, num_levels), dtype=np.int64)
+        ups = np.zeros((nq, num_levels), dtype=np.int64)
+        lower_probes = self.encoder.lower_probe(k1)
+        upper_probes = self.encoder.upper_probe(k2)
         for j, level in enumerate(levels):
-            lows[:, j] = lower_bound(
+            self._filter_stats.range_pairs += nq
+            overlap = (
+                level.filters.fence_overlap(k1, k2)
+                if level.filters is not None
+                else None
+            )
+            if overlap is None:
+                idx = slice(None)
+                searched = nq
+            else:
+                # Fence-overlap test fused into the bound-search prologue
+                # (two register compares per query; no separate launch).
+                self.device.record_kernel(
+                    "lsm.query.fence",
+                    coalesced_read_bytes=k1.nbytes + k2.nbytes,
+                    coalesced_write_bytes=nq,
+                    work_items=nq,
+                    launches=0,
+                )
+                idx = np.flatnonzero(overlap)
+                searched = int(idx.size)
+                self._filter_stats.range_fence_pruned += nq - searched
+                if searched == 0:
+                    continue
+            lows[idx, j] = lower_bound(
                 level.keys,
-                self.encoder.lower_probe(k1),
+                lower_probes[idx],
                 device=self.device,
                 kernel_name="lsm.query.lower_bound",
             )
-            ups[:, j] = upper_bound(
+            ups[idx, j] = upper_bound(
                 level.keys,
-                self.encoder.upper_probe(k2),
+                upper_probes[idx],
                 device=self.device,
                 kernel_name="lsm.query.upper_bound",
             )
@@ -740,7 +960,9 @@ class GPULSM:
                 lvl.clear()
             self.num_batches = 0
             if new_batches:
-                self._distribute_sorted(final_run, new_batches)
+                self._distribute_sorted(
+                    final_run, new_batches, trailing_placebos=padding
+                )
             self.total_cleanups += 1
             self.epoch += 1
             # After cleanup every resident non-placebo element is live, so

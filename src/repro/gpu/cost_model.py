@@ -8,7 +8,8 @@ time*:
 
 ``time = launches * launch_overhead
        + coalesced_bytes / effective_bandwidth
-       + random_bytes   / random_bandwidth``
+       + random_bytes   / random_bandwidth
+       + filter_bytes   / filter_bandwidth``
 
 This is the classic roofline/bandwidth-bound model.  It is a good fit here
 because every primitive the GPU LSM is built from — radix sort, merge,
@@ -49,10 +50,17 @@ class AccessPattern(enum.Enum):
     ``RANDOM``
         Each thread follows its own pointer chain (binary search probes,
         cuckoo probes).  Each 4-byte request costs a 32-byte transaction.
+    ``FILTER``
+        Scattered word probes into a compact, mostly-L2-resident structure
+        (the per-level Bloom filters of the query acceleration layer).
+        Cheaper than ``RANDOM`` — the bit array is a few bits per key, so
+        it stays cached and a probe reads one word, not a 32-byte DRAM
+        transaction — but still uncoalesced, so well short of streaming.
     """
 
     COALESCED = "coalesced"
     RANDOM = "random"
+    FILTER = "filter"
 
 
 @dataclass(frozen=True)
@@ -63,8 +71,8 @@ class KernelCost:
     ----------
     seconds:
         Simulated execution time.
-    launch_seconds / coalesced_seconds / random_seconds:
-        Breakdown of the total into the three model terms, retained so the
+    launch_seconds / coalesced_seconds / random_seconds / filter_seconds:
+        Breakdown of the total into the four model terms, retained so the
         profiler can report which term dominates each operation.
     """
 
@@ -72,6 +80,7 @@ class KernelCost:
     launch_seconds: float
     coalesced_seconds: float
     random_seconds: float
+    filter_seconds: float = 0.0
 
     def __add__(self, other: "KernelCost") -> "KernelCost":
         return KernelCost(
@@ -79,11 +88,12 @@ class KernelCost:
             launch_seconds=self.launch_seconds + other.launch_seconds,
             coalesced_seconds=self.coalesced_seconds + other.coalesced_seconds,
             random_seconds=self.random_seconds + other.random_seconds,
+            filter_seconds=self.filter_seconds + other.filter_seconds,
         )
 
     @staticmethod
     def zero() -> "KernelCost":
-        return KernelCost(0.0, 0.0, 0.0, 0.0)
+        return KernelCost(0.0, 0.0, 0.0, 0.0, 0.0)
 
 
 class CostModel:
@@ -101,6 +111,7 @@ class CostModel:
             launches=stats.launches,
             coalesced_bytes=stats.coalesced_bytes,
             random_bytes=stats.random_bytes,
+            filter_bytes=stats.filter_bytes,
         )
 
     def cost_of_snapshot(self, snap: CounterSnapshot) -> KernelCost:
@@ -110,6 +121,7 @@ class CostModel:
             launches=snap.launches,
             coalesced_bytes=snap.coalesced_bytes,
             random_bytes=snap.random_bytes,
+            filter_bytes=snap.filter_bytes,
         )
 
     def cost_of_many(self, records: Iterable[KernelStats]) -> KernelCost:
@@ -120,16 +132,23 @@ class CostModel:
         return total
 
     def _cost(
-        self, *, launches: int, coalesced_bytes: int, random_bytes: int
+        self,
+        *,
+        launches: int,
+        coalesced_bytes: int,
+        random_bytes: int,
+        filter_bytes: int = 0,
     ) -> KernelCost:
         launch_s = launches * self.spec.kernel_launch_overhead_s
         coalesced_s = coalesced_bytes / self.spec.effective_bandwidth_bytes_per_s
         random_s = random_bytes / self.spec.random_bandwidth_bytes_per_s
+        filter_s = filter_bytes / self.spec.filter_bandwidth_bytes_per_s
         return KernelCost(
-            seconds=launch_s + coalesced_s + random_s,
+            seconds=launch_s + coalesced_s + random_s + filter_s,
             launch_seconds=launch_s,
             coalesced_seconds=coalesced_s,
             random_seconds=random_s,
+            filter_seconds=filter_s,
         )
 
     # ------------------------------------------------------------------ #

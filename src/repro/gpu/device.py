@@ -99,6 +99,8 @@ class Device:
         coalesced_write_bytes: int = 0,
         random_read_bytes: int = 0,
         random_write_bytes: int = 0,
+        filter_read_bytes: int = 0,
+        filter_write_bytes: int = 0,
         work_items: int = 0,
         launches: int = 1,
     ) -> KernelStats:
@@ -109,6 +111,8 @@ class Device:
             coalesced_write_bytes=int(coalesced_write_bytes),
             random_read_bytes=int(random_read_bytes),
             random_write_bytes=int(random_write_bytes),
+            filter_read_bytes=int(filter_read_bytes),
+            filter_write_bytes=int(filter_write_bytes),
             work_items=int(work_items),
             launches=int(launches),
         )

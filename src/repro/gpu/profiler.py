@@ -46,6 +46,7 @@ class ProfileRecord:
     random_bytes: int
     launches: int
     cost: KernelCost
+    filter_bytes: int = 0
 
     @property
     def seconds(self) -> float:
@@ -58,7 +59,7 @@ class ProfileRecord:
 
     @property
     def total_bytes(self) -> int:
-        return self.coalesced_bytes + self.random_bytes
+        return self.coalesced_bytes + self.random_bytes + self.filter_bytes
 
 
 class Profiler:
@@ -89,6 +90,7 @@ class Profiler:
                 random_bytes=delta.random_bytes,
                 launches=delta.launches,
                 cost=cost,
+                filter_bytes=delta.filter_bytes,
             )
         )
 

@@ -62,6 +62,15 @@ class GPUSpec:
         A 32-byte DRAM transaction servicing a single 4-byte request gives
         ~1/8; caching of the first few binary-search levels raises it
         slightly.
+    filter_probe_efficiency:
+        Effective fraction of peak bandwidth sustained by *filter probes* —
+        the bit-array reads/writes of the per-level Bloom filters.  A Bloom
+        filter is a few bits per resident key, hundreds of times smaller
+        than the level it summarises, so its working set stays resident in
+        the 1.5 MB L2 and a probe reads one 64-bit word instead of dragging
+        a full 32-byte DRAM transaction.  The probes are still scattered
+        (each hash lands on its own word), so they don't reach streaming
+        bandwidth either; the default sits between the two regimes.
     ecc_overhead:
         Multiplicative bandwidth penalty for ECC being enabled (the paper's
         K40c runs with ECC on).
@@ -81,6 +90,7 @@ class GPUSpec:
     shared_memory_bytes_per_sm: int = 48 * 1024
     kernel_launch_overhead_us: float = 5.0
     random_access_efficiency: float = 0.14
+    filter_probe_efficiency: float = 0.45
     ecc_overhead: float = 0.88
 
     def __post_init__(self) -> None:
@@ -94,6 +104,8 @@ class GPUSpec:
             raise ValueError("achievable_bandwidth_fraction must be in (0, 1]")
         if not (0.0 < self.random_access_efficiency <= 1.0):
             raise ValueError("random_access_efficiency must be in (0, 1]")
+        if not (0.0 < self.filter_probe_efficiency <= 1.0):
+            raise ValueError("filter_probe_efficiency must be in (0, 1]")
         if not (0.0 < self.ecc_overhead <= 1.0):
             raise ValueError("ecc_overhead must be in (0, 1]")
         if self.kernel_launch_overhead_us < 0:
@@ -121,6 +133,17 @@ class GPUSpec:
             self.dram_bandwidth_gbs
             * 1e9
             * self.random_access_efficiency
+            * self.ecc_overhead
+        )
+
+    @property
+    def filter_bandwidth_bytes_per_s(self) -> float:
+        """Sustained bandwidth in bytes/second for Bloom-filter bit probes
+        (mostly-L2-resident scattered word accesses)."""
+        return (
+            self.dram_bandwidth_gbs
+            * 1e9
+            * self.filter_probe_efficiency
             * self.ecc_overhead
         )
 
@@ -154,6 +177,7 @@ class GPUSpec:
             "dram_bandwidth_gbs": self.dram_bandwidth_gbs,
             "effective_bandwidth_gbs": self.effective_bandwidth_bytes_per_s / 1e9,
             "random_bandwidth_gbs": self.random_bandwidth_bytes_per_s / 1e9,
+            "filter_bandwidth_gbs": self.filter_bandwidth_bytes_per_s / 1e9,
             "l2_kib": self.l2_bytes / 1024,
             "kernel_launch_overhead_us": self.kernel_launch_overhead_us,
         }

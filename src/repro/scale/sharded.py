@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.config import LSMConfig
 from repro.core.encoding import STATUS_REGULAR, STATUS_TOMBSTONE
+from repro.core.filters import FilterStatsCounter
 from repro.core.lsm import GPULSM, LookupResult, RangeResult
 from repro.core.run import SortedRun
 from repro.gpu.device import Device
@@ -75,6 +76,14 @@ class ShardedLSM:
         Device spec used for the router device and every shard device.
     validate_invariants:
         Forwarded to every per-shard :class:`LSMConfig` (slow; for tests).
+    enable_fences / bloom_bits_per_key / sort_queries /
+    sorted_probe_cached_probes:
+        Query-acceleration knobs, forwarded verbatim into every per-shard
+        :class:`LSMConfig` — each shard builds its own per-level fence
+        pairs and Bloom filters and prunes its probes independently;
+        :meth:`filter_stats` aggregates the pruning statistics across
+        shards.  ``sorted_probe_cached_probes`` defaults to the
+        :class:`LSMConfig` default when ``None``.
     """
 
     def __init__(
@@ -87,6 +96,10 @@ class ShardedLSM:
         spec: GPUSpec = K40C_SPEC,
         validate_invariants: bool = False,
         seed: int = 0,
+        enable_fences: bool = False,
+        bloom_bits_per_key: int = 0,
+        sort_queries: bool = False,
+        sorted_probe_cached_probes: Optional[int] = None,
     ) -> None:
         if not 1 <= num_shards <= MAX_WARP_BUCKETS:
             raise ValueError(
@@ -102,8 +115,18 @@ class ShardedLSM:
         self.shard_batch_size = shard_batch_size
         self.key_only = key_only
         self.router_device = Device(spec, seed=seed)
+        accel_overrides = (
+            {}
+            if sorted_probe_cached_probes is None
+            else {"sorted_probe_cached_probes": sorted_probe_cached_probes}
+        )
         self.shard_config = LSMConfig(
-            batch_size=shard_batch_size, validate_invariants=validate_invariants
+            batch_size=shard_batch_size,
+            validate_invariants=validate_invariants,
+            enable_fences=enable_fences,
+            bloom_bits_per_key=bloom_bits_per_key,
+            sort_queries=sort_queries,
+            **accel_overrides,
         )
         self.encoder = self.shard_config.encoder
         if key_domain is None:
@@ -164,6 +187,20 @@ class ShardedLSM:
     @property
     def memory_usage_bytes(self) -> int:
         return sum(shard.memory_usage_bytes for shard in self.shards)
+
+    @property
+    def filter_memory_bytes(self) -> int:
+        """Device bytes held by all shards' query filters."""
+        return sum(shard.filter_memory_bytes for shard in self.shards)
+
+    def filter_stats(self) -> dict:
+        """Aggregated query-filter pruning statistics across every shard
+        (same schema as :meth:`repro.core.lsm.GPULSM.filter_stats`)."""
+        combined = FilterStatsCounter()
+        for shard in self.shards:
+            shard._filter_stats.filter_memory_bytes = shard.filter_memory_bytes
+            combined.merge(shard._filter_stats)
+        return combined.as_dict()
 
     def __len__(self) -> int:
         return self.num_elements
@@ -348,8 +385,7 @@ class ShardedLSM:
         )
         if nq == 0:
             return LookupResult(found=found, values=values)
-        if int(query_keys.min()) < 0 or int(query_keys.max()) > self.encoder.max_key:
-            raise ValueError("query keys exceed the 31-bit original-key domain")
+        self.encoder.check_query_keys(query_keys)
 
         with self.router_device.timed_region("sharded.lookup_route", items=nq):
             # The query's original position rides along as the multisplit
@@ -404,11 +440,8 @@ class ShardedLSM:
         if k1.ndim != 1 or k2.shape != k1.shape:
             raise ValueError("k1 and k2 must be one-dimensional and equally long")
         if k1.size:
-            if (
-                int(k1.max()) > self.encoder.max_key
-                or int(k2.max()) > self.encoder.max_key
-            ):
-                raise ValueError("range bounds exceed the original-key domain")
+            self.encoder.check_query_keys(k1, "range bounds")
+            self.encoder.check_query_keys(k2, "range bounds")
             if np.any(k2 < k1):
                 raise ValueError("every range must satisfy k1 <= k2")
         return k1, k2

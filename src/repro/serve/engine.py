@@ -212,6 +212,11 @@ class EngineStats:
     simulated_seconds: float
     plan_seconds: float
     wall_seconds: float
+    #: Query-filter pruning statistics of the backend (the dict of
+    #: ``GPULSM.filter_stats`` / ``ShardedLSM.filter_stats``: probe pair
+    #: counts, fence/Bloom prune rates, false-positive rate, filter memory),
+    #: or ``None`` for backends without a query acceleration layer.
+    backend_filters: Optional[Dict[str, float]] = None
 
     @property
     def ops_per_second(self) -> float:
@@ -241,6 +246,11 @@ class EngineStats:
                 "p50_latency_ms": self.op_latency.get("p50", float("nan")) * 1e3,
                 "p95_latency_ms": self.op_latency.get("p95", float("nan")) * 1e3,
                 "p99_latency_ms": self.op_latency.get("p99", float("nan")) * 1e3,
+                "filter_prune_rate": (
+                    self.backend_filters.get("lookup_prune_rate", float("nan"))
+                    if self.backend_filters
+                    else float("nan")
+                ),
             }
         ]
 
@@ -721,7 +731,15 @@ class Engine:
                 simulated_seconds=self._sim_seconds_total,
                 plan_seconds=self._plan_seconds_total,
                 wall_seconds=wall,
+                backend_filters=self._backend_filter_stats(),
             )
+
+    def _backend_filter_stats(self) -> Optional[Dict[str, float]]:
+        """The backend's query-filter pruning statistics, when it has any."""
+        stats_fn = getattr(self.backend, "filter_stats", None)
+        if not callable(stats_fn):
+            return None
+        return stats_fn()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "running" if self.running else ("closed" if self._closed else "idle")

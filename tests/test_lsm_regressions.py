@@ -7,13 +7,22 @@
   re-insertions: repeatedly inserting the same key inflates the lifetime
   insertion counter without growing the live population, which used to
   drive the estimate to zero exactly when almost everything was stale.
+* Query paths must reject *negative* keys up front: the upper bound of the
+  31-bit domain was validated but a negative key slipped through and
+  silently wrapped into a huge unsigned probe word, searching for an
+  unrelated key instead of failing loudly.  Applies to
+  ``lookup`` / ``count`` / ``range_query`` on the GPU LSM and to both
+  baselines.
 """
 
 import numpy as np
 import pytest
 
+from repro.baselines.cuckoo_hash import CuckooHashTable
+from repro.baselines.sorted_array import GPUSortedArray
 from repro.core.config import LSMConfig
 from repro.core.lsm import GPULSM
+from repro.scale.sharded import ShardedLSM
 
 
 class TestBulkBuildDomainValidation:
@@ -28,7 +37,9 @@ class TestBulkBuildDomainValidation:
 
     def test_negative_key_rejected(self, device):
         lsm = GPULSM(config=LSMConfig(batch_size=8), device=device, key_only=True)
-        with pytest.raises(ValueError, match="original-key domain"):
+        # Negative keys now get the dedicated non-negativity message shared
+        # with every query surface.
+        with pytest.raises(ValueError, match="non-negative"):
             lsm.bulk_build(np.array([3, -1], dtype=np.int64))
 
     def test_max_key_accepted(self, device):
@@ -91,3 +102,72 @@ class TestStaleFractionEstimate:
         lsm.bulk_build(np.full(2 * b, 3, dtype=np.uint32))
         # 16 resident copies of one key: 15 stale.
         assert lsm.stale_fraction_estimate() >= 0.8
+
+
+class TestNegativeQueryKeyValidation:
+    """Negative query keys must raise, not silently wrap into huge words."""
+
+    NEG = np.array([5, -3], dtype=np.int64)
+    NEG_HI = np.array([9, 9], dtype=np.int64)
+
+    def _filled_lsm(self, device):
+        lsm = GPULSM(config=LSMConfig(batch_size=8), device=device)
+        lsm.insert(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        return lsm
+
+    def test_lsm_lookup_rejects_negative_keys(self, device):
+        lsm = self._filled_lsm(device)
+        with pytest.raises(ValueError, match="non-negative"):
+            lsm.lookup(self.NEG)
+
+    def test_lsm_count_rejects_negative_bounds(self, device):
+        lsm = self._filled_lsm(device)
+        with pytest.raises(ValueError, match="non-negative"):
+            lsm.count(self.NEG, self.NEG_HI)
+        with pytest.raises(ValueError, match="non-negative"):
+            lsm.count(np.zeros(2, np.int64), self.NEG)
+
+    def test_lsm_range_rejects_negative_bounds(self, device):
+        lsm = self._filled_lsm(device)
+        with pytest.raises(ValueError, match="non-negative"):
+            lsm.range_query(self.NEG, self.NEG_HI)
+
+    def test_sharded_lookup_and_ranges_reject_negative_keys(self):
+        sharded = ShardedLSM(num_shards=2, batch_size=16, key_domain=1 << 10)
+        sharded.insert(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        with pytest.raises(ValueError):
+            sharded.lookup(self.NEG)
+        with pytest.raises(ValueError, match="non-negative"):
+            sharded.count(self.NEG, self.NEG_HI)
+        with pytest.raises(ValueError, match="non-negative"):
+            sharded.range_query(self.NEG, self.NEG_HI)
+
+    def test_sorted_array_rejects_negative_keys(self, device):
+        sa = GPUSortedArray(device=device)
+        sa.bulk_build(np.arange(8, dtype=np.uint32), np.arange(8, dtype=np.uint32))
+        with pytest.raises(ValueError, match="non-negative"):
+            sa.lookup(self.NEG)
+        with pytest.raises(ValueError, match="non-negative"):
+            sa.count(self.NEG, self.NEG_HI)
+        with pytest.raises(ValueError, match="non-negative"):
+            sa.range_query(self.NEG, self.NEG_HI)
+
+    def test_cuckoo_lookup_rejects_negative_keys(self, device):
+        cuckoo = CuckooHashTable(device=device)
+        cuckoo.bulk_build(
+            np.arange(8, dtype=np.uint64), np.arange(8, dtype=np.uint64)
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            cuckoo.lookup(self.NEG)
+
+    def test_fractional_negative_float_keys_rejected(self, device):
+        # int(-0.5) == 0, so a truncating check would let these through.
+        lsm = self._filled_lsm(device)
+        with pytest.raises(ValueError, match="non-negative"):
+            lsm.lookup(np.array([-0.5]))
+
+    def test_valid_queries_still_work_after_validation(self, device):
+        lsm = self._filled_lsm(device)
+        res = lsm.lookup(np.array([5, 200], dtype=np.int64))
+        assert bool(res.found[0]) and not bool(res.found[1])
+        assert int(lsm.count(np.array([0]), np.array([7]))[0]) == 8

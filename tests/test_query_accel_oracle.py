@@ -1,0 +1,152 @@
+"""Hypothesis oracle: query filters are answer-invariant.
+
+Random insert/delete/cleanup interleavings — tombstones included — drive
+four configurations of the same dictionary (filters off, fences only,
+fences+Bloom, fences+Bloom+sorted-probe) plus a plain Python dict oracle.
+After every batch, ``lookup`` / ``count`` / ``range_query`` must agree
+across all four configurations *and* with the oracle, on both the
+single-device :class:`GPULSM` and a four-shard :class:`ShardedLSM`.
+
+This is the end-to-end guarantee of the acceleration layer: filters may
+skip probes, never answers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import LSMConfig
+from repro.core.lsm import GPULSM
+from repro.gpu.device import Device
+from repro.gpu.spec import K40C_SPEC
+from repro.scale import ShardedLSM
+
+KEY_SPACE = 96
+BATCH = 16
+
+#: The four filter configurations of the acceptance criteria.
+FILTER_MODES = (
+    ("off", {}),
+    ("fences", dict(enable_fences=True)),
+    ("fences+bloom", dict(enable_fences=True, bloom_bits_per_key=10)),
+    (
+        "fences+bloom+sorted",
+        dict(enable_fences=True, bloom_bits_per_key=10, sort_queries=True),
+    ),
+)
+
+key_strategy = st.integers(min_value=0, max_value=KEY_SPACE - 1)
+value_strategy = st.integers(min_value=0, max_value=1000)
+pair_strategy = st.tuples(key_strategy, value_strategy)
+batch_strategy = st.tuples(
+    st.lists(pair_strategy, max_size=6),   # insertions
+    st.lists(key_strategy, max_size=6),    # deletions (tombstones)
+    st.booleans(),                         # cleanup after this batch?
+).filter(lambda t: len(t[0]) + len(t[1]) >= 1)
+trace_strategy = st.lists(batch_strategy, min_size=1, max_size=6)
+
+
+def _make_backends(kind):
+    if kind == "gpulsm":
+        return {
+            name: GPULSM(
+                config=LSMConfig(batch_size=BATCH, **kwargs),
+                device=Device(K40C_SPEC, seed=17),
+            )
+            for name, kwargs in FILTER_MODES
+        }
+    return {
+        name: ShardedLSM(
+            num_shards=4,
+            batch_size=BATCH,
+            key_domain=KEY_SPACE,
+            seed=17,
+            **kwargs,
+        )
+        for name, kwargs in FILTER_MODES
+    }
+
+
+def _oracle_apply(oracle, inserts, deletes):
+    """The paper's batch semantics on a python dict: a delete anywhere in
+    the batch dominates its key; among insertions the first wins."""
+    deleted = {k for k in deletes}
+    first_insert = {}
+    for k, v in inserts:
+        first_insert.setdefault(k, v)
+    for k in deleted:
+        oracle.pop(k, None)
+    for k, v in first_insert.items():
+        if k not in deleted:
+            oracle[k] = v
+
+
+def _check_agreement(backends, oracle, queries, k1, k2):
+    expected_found = [k in oracle for k in queries.tolist()]
+    expected_counts = [
+        sum(1 for k in oracle if lo <= k <= hi)
+        for lo, hi in zip(k1.tolist(), k2.tolist())
+    ]
+    for name, backend in backends.items():
+        res = backend.lookup(queries)
+        assert res.found.tolist() == expected_found, name
+        for i, k in enumerate(queries.tolist()):
+            if k in oracle:
+                assert int(res.values[i]) == oracle[k], (name, k)
+        counts = backend.count(k1, k2)
+        assert counts.tolist() == expected_counts, name
+        rr = backend.range_query(k1, k2)
+        for i, (lo, hi) in enumerate(zip(k1.tolist(), k2.tolist())):
+            expected_pairs = sorted(
+                (k, v) for k, v in oracle.items() if lo <= k <= hi
+            )
+            keys_i, vals_i = rr.query_slice(i)
+            got = [(int(k), int(v)) for k, v in zip(keys_i, vals_i)]
+            assert got == expected_pairs, (name, lo, hi)
+
+
+def run_trace(kind, trace):
+    backends = _make_backends(kind)
+    oracle = {}
+    all_keys = np.arange(KEY_SPACE + 8, dtype=np.uint32)  # misses included
+    k1 = np.array([0, 30, 7, 90], dtype=np.uint32)
+    k2 = np.array([KEY_SPACE - 1, 60, 7, KEY_SPACE + 4], dtype=np.uint32)
+
+    for inserts, deletes, do_cleanup in trace:
+        ins_keys = np.array([k for k, _ in inserts], dtype=np.uint32)
+        ins_vals = np.array([v for _, v in inserts], dtype=np.uint32)
+        del_keys = np.array(deletes, dtype=np.uint32)
+        for backend in backends.values():
+            backend.update(
+                insert_keys=ins_keys if ins_keys.size else None,
+                insert_values=ins_vals if ins_keys.size else None,
+                delete_keys=del_keys if del_keys.size else None,
+            )
+        _oracle_apply(oracle, inserts, deletes)
+        if do_cleanup:
+            for backend in backends.values():
+                backend.cleanup()
+        _check_agreement(backends, oracle, all_keys, k1, k2)
+
+
+class TestFilterInvarianceOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(trace=trace_strategy)
+    def test_gpulsm_filters_are_answer_invariant(self, trace):
+        run_trace("gpulsm", trace)
+
+    @settings(max_examples=10, deadline=None)
+    @given(trace=trace_strategy)
+    def test_sharded4_filters_are_answer_invariant(self, trace):
+        run_trace("sharded", trace)
+
+    @pytest.mark.parametrize("kind", ["gpulsm", "sharded"])
+    def test_tombstone_heavy_trace(self, kind):
+        """A deterministic delete-then-reinsert trace: a Bloom-pruned level
+        must never hide a tombstone that shadows an older copy."""
+        trace = [
+            ([(k, k * 2) for k in range(12)], [], False),
+            ([], list(range(0, 12, 2)), False),       # tombstone half
+            ([(1, 99), (0, 77)], [3], True),           # reinsert + cleanup
+        ]
+        run_trace(kind, trace)

@@ -133,9 +133,11 @@ class TestShardedMechanics:
         with pytest.raises(ValueError, match="sharded key domain"):
             sharded.insert(np.array([100], dtype=np.uint32), np.array([1], dtype=np.uint32))
 
-    def test_negative_lookup_key_rejected_with_domain_error(self):
+    def test_negative_lookup_key_rejected_with_clear_error(self):
         sharded = ShardedLSM(num_shards=2, batch_size=8, key_domain=100)
-        with pytest.raises(ValueError, match="original-key domain"):
+        # Negative keys get their own message now (they used to be lumped
+        # into the upper-domain error, which was misleading).
+        with pytest.raises(ValueError, match="non-negative"):
             sharded.lookup(np.array([-1], dtype=np.int64))
 
     def test_out_of_domain_lookup_is_not_found(self):
