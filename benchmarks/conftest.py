@@ -45,6 +45,8 @@ SCALES = {
         "serve": dict(num_ops=1 << 12, target_tick_size=1 << 8,
                       utilisations=(0.5, 0.9, 2.0)),
         "query_accel": dict(total_elements=1 << 14, queries_per_cell=1 << 11),
+        "maintenance": dict(batch_size=1 << 9, num_steps=40,
+                            queries_per_step=1 << 11),
     },
     "paper": {
         "table1": dict(small_elements=1 << 12, large_elements=1 << 16, batch_size=1 << 9),
@@ -66,6 +68,8 @@ SCALES = {
         "serve": dict(num_ops=1 << 16, target_tick_size=1 << 11,
                       utilisations=(0.5, 0.9, 2.0)),
         "query_accel": dict(total_elements=1 << 17, queries_per_cell=1 << 13),
+        "maintenance": dict(batch_size=1 << 11, num_steps=64,
+                            queries_per_step=1 << 13),
     },
 }
 

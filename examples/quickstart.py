@@ -4,7 +4,8 @@
 Builds a store over the GPU LSM, serves mixed-operation ticks (inserts,
 deletes, lookups, counts and range queries interleaved in single
 ``OpBatch`` requests), shows the two consistency knobs and the ticketing
-session, runs a cleanup, and prints the simulated-GPU performance profile
+session, lets the policy-driven maintenance subsystem clean up stale
+elements on its own, and prints the simulated-GPU performance profile
 (the per-operation throughput the cost model assigns on a Tesla K40c).
 
 The per-method batch surface (``store.insert`` / ``lookup`` / ... and the
@@ -16,16 +17,35 @@ Run with:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import Consistency, Device, K40C_SPEC, KVStore, Op, OpBatch
+from repro import (
+    Consistency,
+    Device,
+    GPULSM,
+    K40C_SPEC,
+    KVStore,
+    LSMConfig,
+    Op,
+    OpBatch,
+    StaleFractionPolicy,
+)
 from repro.bench.report import format_table
 
 
 def main() -> None:
     # A dedicated simulated device so the profiler output covers only this
-    # script's operations.
+    # script's operations.  The backend carries a maintenance policy: the
+    # engine under KVStore evaluates it after every tick and runs the
+    # cleanup for us — no hand-rolled threshold loop.
     device = Device(K40C_SPEC, seed=7)
     batch_size = 4096
-    store = KVStore(batch_size=batch_size, device=device)
+    backend = GPULSM(
+        config=LSMConfig(
+            batch_size=batch_size,
+            maintenance_policy=StaleFractionPolicy(threshold=0.002),
+        ),
+        device=device,
+    )
+    store = KVStore(backend=backend)
 
     rng = np.random.default_rng(42)
 
@@ -90,11 +110,19 @@ def main() -> None:
           f"count(0, 2000)={t_count.result().count}")
 
     # ------------------------------------------------------------------ #
-    # 5. Cleanup via the backend (maintenance surface is unchanged).
+    # 5. Policy-driven maintenance: the deletions of tick 2 pushed the
+    #    stale fraction over the policy threshold, so the engine already
+    #    ran a cleanup right after that tick — no explicit cleanup() call
+    #    anywhere in this script.
     # ------------------------------------------------------------------ #
-    stats = lsm.cleanup()
-    print(f"cleanup: {stats['elements_before']} -> {stats['elements_after']} elements "
-          f"({stats['removed']} removed, {stats['padding']} placebo padding)")
+    maint = store.maintenance_stats()
+    engine_stats = store.stats()
+    print(f"policy-driven maintenance: {maint['runs']} run(s), triggers "
+          f"{maint['triggers']}, {maint['reclaimed_elements']} elements "
+          f"reclaimed, {maint['padding_added']} placebo padding")
+    print(f"  engine-scheduled between ticks: {engine_stats.maintenance_runs} "
+          f"run(s), {engine_stats.maintenance_seconds * 1e3:.3f} simulated ms")
+    assert maint["runs"] >= 1, "the StaleFractionPolicy should have fired"
 
     # ------------------------------------------------------------------ #
     # 6. Simulated performance profile.

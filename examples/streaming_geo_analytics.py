@@ -13,16 +13,23 @@ models that pipeline end to end on the GPU LSM:
 * dashboards repeatedly issue COUNT queries for map tiles (how many events
   per visible tile) and RANGE queries for the user-selected region (fetch
   the event ids to render);
-* because expired events accumulate as stale elements, the pipeline calls
-  CLEANUP whenever the stale estimate crosses a threshold, and the output
-  shows the query-rate improvement that buys — the Section V-D effect.
+* expired events accumulate as stale elements.  Instead of a hand-rolled
+  threshold loop, the pipeline configures a
+  :class:`~repro.core.maintenance.StaleFractionPolicy` on ``LSMConfig`` and
+  polls ``run_due_maintenance()`` once per step — the maintenance
+  subsystem decides when CLEANUP pays off (the Section V-D effect), and
+  the per-policy trigger counters report what it did.
+
+Every dashboard refresh is checked against a Python oracle of the sliding
+window, so the output provably reports the same event-window answers
+whether or not maintenance ran that step.
 
 Run with:  python examples/streaming_geo_analytics.py
 """
 
 import numpy as np
 
-from repro import GPULSM, Device, K40C_SPEC
+from repro import Device, GPULSM, K40C_SPEC, LSMConfig, StaleFractionPolicy
 from repro.bench.report import format_table
 
 CELL_BITS = 24              # 2^24 geo cells (about city-block resolution)
@@ -31,7 +38,7 @@ WINDOW_BATCHES = 8          # sliding window length, in batches
 NUM_INGEST_STEPS = 24
 TILES_PER_DASHBOARD = 512   # COUNT queries per refresh
 REGION_QUERIES = 64         # RANGE queries per refresh
-CLEANUP_THRESHOLD = 0.35    # stale-fraction estimate that triggers cleanup
+CLEANUP_THRESHOLD = 0.35    # stale-fraction threshold of the policy
 
 
 def make_event_batch(rng, step):
@@ -44,13 +51,50 @@ def make_event_batch(rng, step):
     return cells.astype(np.uint32), event_ids
 
 
+class WindowOracle:
+    """Python mirror of the live event window (the LSM's batch semantics:
+    a newer batch wins over older ones, the first insertion wins within a
+    batch, a deletion batch removes its cells)."""
+
+    def __init__(self):
+        self.live = {}
+
+    def expire(self, cells):
+        for c in cells.tolist():
+            self.live.pop(c, None)
+
+    def ingest(self, cells, event_ids):
+        batch_first = {}
+        for c, e in zip(cells.tolist(), event_ids.tolist()):
+            batch_first.setdefault(c, e)
+        self.live.update(batch_first)
+
+    def counts(self, lo, hi):
+        """Live cells per inclusive [lo, hi] interval (vectorised)."""
+        keys = np.fromiter(self.live.keys(), dtype=np.uint32,
+                           count=len(self.live))
+        keys.sort()
+        return (
+            np.searchsorted(keys, hi, side="right")
+            - np.searchsorted(keys, lo, side="left")
+        )
+
+
 def main() -> None:
     rng = np.random.default_rng(7)
     device = Device(K40C_SPEC, seed=7)
-    lsm = GPULSM(batch_size=BATCH, device=device)
+    lsm = GPULSM(
+        config=LSMConfig(
+            batch_size=BATCH,
+            maintenance_policy=StaleFractionPolicy(
+                threshold=CLEANUP_THRESHOLD
+            ),
+        ),
+        device=device,
+    )
 
     window = []          # batches currently inside the sliding window
-    cleanups = 0
+    oracle = WindowOracle()
     rows = []
 
     for step in range(NUM_INGEST_STEPS):
@@ -62,7 +106,9 @@ def main() -> None:
         if len(window) >= WINDOW_BATCHES:
             expired_cells, _ = window.pop(0)
             lsm.delete(expired_cells)
+            oracle.expire(expired_cells)
         lsm.insert(cells, event_ids)
+        oracle.ingest(cells, event_ids)
         window.append((cells, event_ids))
 
         # Dashboard refresh: per-tile counts plus the user's region fetch.
@@ -75,12 +121,21 @@ def main() -> None:
         region = lsm.range_query(region_base,
                                  region_base + np.uint32((1 << 14) - 1))
 
+        # The answers must match the window oracle exactly — maintenance
+        # (whenever the policy decides to run it) never changes them.
+        assert np.array_equal(
+            tile_counts, oracle.counts(tile_base, tile_base + ((1 << 10) - 1))
+        ), "tile counts diverged from the event-window oracle"
+        assert np.array_equal(
+            region.counts,
+            oracle.counts(region_base, region_base + ((1 << 14) - 1)),
+        ), "region results diverged from the event-window oracle"
+
+        # Policy-driven maintenance: the StaleFractionPolicy configured on
+        # the LSM decides; this replaces the old hand-rolled
+        # `if stale_fraction_estimate() > threshold: cleanup()` loop.
         stale = lsm.stale_fraction_estimate()
-        did_cleanup = False
-        if stale > CLEANUP_THRESHOLD:
-            lsm.cleanup()
-            cleanups += 1
-            did_cleanup = True
+        ran = lsm.run_due_maintenance()
 
         if step % 4 == 3:
             rows.append({
@@ -88,7 +143,7 @@ def main() -> None:
                 "resident_elements": lsm.num_elements,
                 "occupied_levels": lsm.num_occupied_levels,
                 "stale_estimate": round(stale, 3),
-                "cleanup": did_cleanup,
+                "cleanup": ran is not None,
                 "events_in_tiles": int(tile_counts.sum()),
                 "events_in_regions": int(region.counts.sum()),
             })
@@ -109,7 +164,13 @@ def main() -> None:
         agg["simulated_ms"] += r["simulated_ms"]
     print(format_table(list(by_region.values()),
                        title="Aggregate simulated time by operation"))
-    print(f"cleanups triggered by the stale-fraction policy: {cleanups}")
+
+    maint = lsm.maintenance_stats()
+    print(f"maintenance runs: {maint['runs']} "
+          f"(triggers {maint['triggers']}), "
+          f"reclaimed {maint['reclaimed_elements']} elements in "
+          f"{maint['simulated_seconds'] * 1e3:.2f} simulated ms")
+    print("all dashboard answers matched the event-window oracle")
 
 
 if __name__ == "__main__":

@@ -54,6 +54,14 @@ True
 from repro.core.lsm import GPULSM, LookupResult, RangeResult
 from repro.core.config import LSMConfig
 from repro.core.encoding import KeyEncoder, MAX_KEY
+from repro.core.maintenance import (
+    AnyOf,
+    LevelCountPolicy,
+    MaintenanceAction,
+    MaintenancePolicy,
+    ManualOnly,
+    StaleFractionPolicy,
+)
 from repro.core.run import SortedRun
 from repro.core.semantics import ReferenceDictionary
 from repro.baselines.sorted_array import GPUSortedArray
@@ -129,6 +137,14 @@ __all__ = [
     "MAX_KEY",
     "ReferenceDictionary",
     "SortedRun",
+    # Maintenance subsystem (cleanup stages, incremental compaction,
+    # pluggable policies)
+    "MaintenancePolicy",
+    "MaintenanceAction",
+    "ManualOnly",
+    "StaleFractionPolicy",
+    "LevelCountPolicy",
+    "AnyOf",
     # Protocol and errors
     "DictionaryProtocol",
     "UnsupportedOperationError",

@@ -154,6 +154,29 @@ class KVStore:
         backends)."""
         return getattr(self.backend, "epoch", None)
 
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def run_due_maintenance(self) -> Optional[dict]:
+        """Evaluate the backend's maintenance policy and run what is due.
+
+        :meth:`apply` already polls this after every tick (through the
+        engine); the explicit call exists for callers on the per-method
+        surface, whose ``insert`` / ``delete`` batches bypass the engine.
+        The poll routes through :meth:`Engine.run_due_maintenance` — it
+        holds the engine's executor lock, so it can never interleave with
+        a tick, and it is counted in the engine's maintenance telemetry.
+        Returns ``None`` for backends without a maintenance subsystem or
+        when nothing is due.
+        """
+        return self.engine.run_due_maintenance()
+
+    def maintenance_stats(self) -> Optional[dict]:
+        """The backend's lifetime maintenance counters (``None`` for
+        backends without a maintenance subsystem); also surfaced on
+        :attr:`EngineStats.backend_maintenance` via :meth:`stats`."""
+        return self.engine.backend_maintenance_stats()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"KVStore(backend={type(self.backend).__name__}, "

@@ -13,7 +13,12 @@ One module per concern:
   build comparison of Section V-B.
 * :mod:`repro.bench.figures` — series generators for Figures 4a and 4b.
 * :mod:`repro.bench.cleanup_exp` — the cleanup-rate and cleanup-speedup
-  experiments of Section V-D.
+  experiments of Section V-D, extended with a full-vs-incremental
+  reclaim-cost comparison.
+* :mod:`repro.bench.maintenance` — beyond the paper: sustained serving
+  throughput and p95 query latency under delete-heavy and update-heavy
+  churn, for no-maintenance / full-cleanup / incremental+policy
+  configurations of the maintenance subsystem.
 * :mod:`repro.bench.serve` — beyond the paper: the open-loop serving
   experiment (latency percentiles vs offered load under the adaptive tick
   scheduler of :mod:`repro.serve`).
@@ -32,7 +37,15 @@ comparison for every table and figure.
 
 from repro.bench.workloads import WorkloadConfig, make_workload
 from repro.bench.runner import ExperimentRunner, RateSummary
-from repro.bench import tables, figures, cleanup_exp, query_accel, report, serve
+from repro.bench import (
+    cleanup_exp,
+    figures,
+    maintenance,
+    query_accel,
+    report,
+    serve,
+    tables,
+)
 
 __all__ = [
     "WorkloadConfig",
@@ -42,6 +55,7 @@ __all__ = [
     "tables",
     "figures",
     "cleanup_exp",
+    "maintenance",
     "query_accel",
     "report",
     "serve",

@@ -70,27 +70,105 @@ def _build_fragmented_lsm(
     return lsm
 
 
+def _add_replacement_churn(
+    lsm: GPULSM, batch_size: int, churn_batches: int, seed: int
+) -> None:
+    """Append ``churn_batches`` re-insertion batches of one key block.
+
+    Every batch re-inserts the *same* keys, so each new batch makes the
+    previous copy stale — and because the churn arrives last, those stale
+    copies sit in the **smallest (most recent) levels**, exactly the
+    prefix an incremental ``compact_levels`` pass touches.  This is the
+    replacement-heavy tail an update-churn serving workload produces.
+    """
+    rng = np.random.default_rng(seed + 17)
+    block = rng.integers(0, 1 << 24, batch_size, dtype=np.uint32)
+    block = np.unique(block)
+    block = np.resize(block, batch_size)  # ensure exactly b keys
+    for i in range(churn_batches):
+        lsm.insert(block, np.full(batch_size, i, dtype=np.uint32))
+
+
 def cleanup_rate_rows(
     batch_size: int = 1 << 12,
     num_batches: int = 63,
     stale_fractions: Sequence[float] = (0.1, 0.5),
+    incremental_levels: int = 3,
     spec: Optional[GPUSpec] = None,
     seed: int = 71,
 ) -> List[Dict[str, object]]:
-    """Cleanup throughput versus stale fraction, with a rebuild baseline.
+    """Cleanup throughput versus stale fraction, with a rebuild baseline
+    and a full-vs-incremental reclaim-cost comparison.
 
     One row per stale fraction: resident elements, simulated cleanup rate
-    (M elements/s), the bulk-build rate for the same element count, and the
-    cleanup/rebuild speedup (the paper reports up to ~2.5×).
+    (M elements/s), the bulk-build rate for the same element count, and
+    the cleanup/rebuild speedup (the paper reports up to ~2.5×) — plus a
+    **full-vs-incremental reclaim-cost comparison**: two identically
+    fragmented-and-churned structures (the fragmentation tail replaced by
+    ``2^incremental_levels − 1`` replacement batches, so reclaimable
+    stale copies sit in the smallest levels, the way update churn leaves
+    them) pay for a full :meth:`cleanup` versus one
+    ``compact_levels(incremental_levels)`` pass.  The comparison columns
+    report each approach's reclaim (elements), its cost (simulated
+    microseconds per reclaimed element) and
+    ``incremental_reclaim_cost_advantage`` — how many times cheaper the
+    incremental pass reclaims each element (> 1 in this churned shape,
+    because its cost scales with the touched prefix while full cleanup
+    pays for the whole structure).
     """
     if spec is None:
         spec = scaled_spec(batch_size * num_batches, PAPER_INSERTION_ELEMENTS)
+    churn_batches = (1 << incremental_levels) - 1
+    if num_batches <= churn_batches:
+        raise ValueError(
+            "num_batches must exceed 2^incremental_levels - 1 churn batches"
+        )
     rows: List[Dict[str, object]] = []
     for frac in stale_fractions:
         runner = ExperimentRunner(spec)
         lsm = _build_fragmented_lsm(runner, batch_size, num_batches, frac, seed)
         resident = lsm.num_elements
         cleanup_rate = runner.measure(resident, lsm.cleanup)
+
+        # Full-vs-incremental comparison on an identically churned pair:
+        # the base structure ends in replacement batches whose stale
+        # copies live in the smallest levels.
+        def _churned(cell_seed: int):
+            cell_runner = ExperimentRunner(spec, seed=cell_seed)
+            churned = _build_fragmented_lsm(
+                cell_runner,
+                batch_size,
+                num_batches - churn_batches,
+                frac,
+                seed,
+            )
+            _add_replacement_churn(churned, batch_size, churn_batches, seed)
+            return cell_runner, churned
+
+        runner_full, full_lsm = _churned(seed + 2)
+        full_stats: Dict[str, object] = {}
+        full_seconds = runner_full.measure_seconds(
+            lambda: full_stats.update(full_lsm.cleanup())
+        )
+        # The stats' monotone "removed" count — the net resident-size
+        # delta additionally reflects re-added padding and would
+        # under-report (or sign-flip) the reclaim.
+        full_reclaimed = int(full_stats["removed"])
+
+        runner_inc, inc_lsm = _churned(seed + 2)
+        prefix_elements = sum(
+            level.size
+            for level in inc_lsm.occupied_levels()[:incremental_levels]
+        )
+        inc_stats: Dict[str, object] = {}
+        inc_seconds = runner_inc.measure_seconds(
+            lambda: inc_stats.update(
+                inc_lsm.compact_levels(incremental_levels)
+            )
+        )
+        inc_reclaimed = int(inc_stats["removed"])
+        full_cost = full_seconds / max(1, full_reclaimed)
+        inc_cost = inc_seconds / max(1, inc_reclaimed)
 
         # Rebuild baseline: bulk build of the same number of elements.
         runner = ExperimentRunner(spec)
@@ -106,6 +184,14 @@ def cleanup_rate_rows(
                 "cleanup_rate": cleanup_rate,
                 "rebuild_rate": rebuild_rate,
                 "cleanup_over_rebuild": cleanup_rate / rebuild_rate,
+                "incremental_levels": incremental_levels,
+                "incremental_touched_elements": prefix_elements,
+                "incremental_rate": prefix_elements / inc_seconds / 1e6,
+                "full_reclaimed": full_reclaimed,
+                "incremental_reclaimed": inc_reclaimed,
+                "full_us_per_reclaimed": full_cost * 1e6,
+                "incremental_us_per_reclaimed": inc_cost * 1e6,
+                "incremental_reclaim_cost_advantage": full_cost / inc_cost,
             }
         )
     return rows

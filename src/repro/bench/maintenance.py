@@ -1,0 +1,243 @@
+"""Maintenance experiment: sustained serving under churn (beyond the paper).
+
+The paper's Section V-D measures cleanup as a one-shot operation.  A
+serving system cares about the *steady state*: under continuous churn,
+stale elements accumulate, every occupied level is another binary search
+per lookup, and a structure that never compacts degrades forever.  This
+experiment drives a serving-style loop — one update batch, a policy
+evaluation, one lookup batch per step — through three maintenance
+configurations:
+
+``none``
+    No maintenance ever (the degradation baseline).
+``full``
+    Policy-triggered **full cleanup** (:class:`StaleFractionPolicy`, with a
+    level-count backstop that also runs a full rebuild) — the pre-existing
+    whole-structure answer.
+``incremental``
+    **Incremental compaction first** (:class:`LevelCountPolicy` keeps the
+    occupied-level count bounded by compacting only the smallest levels),
+    with a full cleanup only when staleness accumulates anyway — the
+    configuration the maintenance subsystem exists for.
+
+Two workloads: ``delete_heavy`` (a sliding window — every step inserts a
+fresh key block and tombstones the expired one, so tombstone/victim pairs
+accumulate) and ``update_heavy`` (re-insertions over a fixed key
+population, so replaced duplicates accumulate).  Every configuration sees
+byte-identical update and query streams, and every lookup result is
+digested so the rows can assert the answers are **bit-identical** across
+configurations — maintenance must never change an answer.
+
+Reported per (workload, config) row: steady-state query throughput
+(M queries/s over the second half of the run), p95 per-batch query
+latency, sustained serving throughput (updates + queries over *all* spent
+time, maintenance included), and the maintenance-subsystem counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.runner import PAPER_INSERTION_ELEMENTS, scaled_spec
+from repro.core.config import LSMConfig
+from repro.core.lsm import GPULSM
+from repro.core.maintenance import (
+    AnyOf,
+    LevelCountPolicy,
+    MaintenancePolicy,
+    StaleFractionPolicy,
+)
+from repro.gpu.device import Device
+from repro.gpu.spec import GPUSpec
+
+#: The three maintenance configurations, in reporting order.
+CONFIGS = ("none", "full", "incremental")
+#: The two churn workloads.
+WORKLOADS = ("delete_heavy", "update_heavy")
+
+
+def _policy_for(
+    config: str,
+    max_occupied_levels: int,
+    stale_threshold: float,
+) -> Optional[MaintenancePolicy]:
+    if config == "none":
+        return None
+    if config == "full":
+        # Both triggers answer with a whole-structure rebuild.
+        return AnyOf(
+            StaleFractionPolicy(threshold=stale_threshold),
+            LevelCountPolicy(
+                max_occupied_levels=max_occupied_levels, full_rebuild=True
+            ),
+        )
+    if config == "incremental":
+        # Cheap prefix compactions keep the level count bounded; the full
+        # cleanup only fires once staleness accumulates anyway (prefix
+        # compaction cannot reclaim a tombstone/victim pair that spans the
+        # compacted prefix and an untouched level).
+        return AnyOf(
+            LevelCountPolicy(max_occupied_levels=max_occupied_levels),
+            StaleFractionPolicy(threshold=min(0.95, 2 * stale_threshold)),
+        )
+    raise ValueError(f"unknown maintenance config {config!r}")
+
+
+def _drive(
+    workload: str,
+    config: str,
+    batch_size: int,
+    num_steps: int,
+    window_batches: int,
+    queries_per_step: int,
+    spec: GPUSpec,
+    seed: int,
+    max_occupied_levels: int,
+    stale_threshold: float,
+) -> Tuple[Dict[str, object], List[bytes]]:
+    """Run one (workload, config) cell; returns its row and the answer
+    digest (the raw lookup result bytes, step by step)."""
+    device = Device(spec, seed=seed)
+    lsm = GPULSM(
+        config=LSMConfig(
+            batch_size=batch_size,
+            maintenance_policy=_policy_for(
+                config, max_occupied_levels, stale_threshold
+            ),
+        ),
+        device=device,
+    )
+    # One RNG per cell with a workload-fixed seed: every configuration
+    # draws the identical update and query streams.
+    rng = np.random.default_rng(seed + 13)
+    key_space = num_steps * batch_size
+    population = window_batches * batch_size
+
+    window: List[np.ndarray] = []
+    query_seconds: List[float] = []
+    step_seconds: List[float] = []
+    step_ops: List[int] = []
+    digest: List[bytes] = []
+
+    for step in range(num_steps):
+        step_start = device.snapshot()
+        ops = 0
+        if workload == "delete_heavy":
+            keys = np.arange(
+                step * batch_size, (step + 1) * batch_size, dtype=np.uint32
+            )
+            if len(window) >= window_batches:
+                expired = window.pop(0)
+                lsm.delete(expired)
+                ops += int(expired.size)
+            lsm.insert(keys, keys)
+            window.append(keys)
+            ops += int(keys.size)
+            queries = rng.integers(
+                0, key_space, queries_per_step
+            ).astype(np.uint32)
+        elif workload == "update_heavy":
+            keys = rng.choice(
+                population, size=batch_size, replace=False
+            ).astype(np.uint32)
+            lsm.insert(keys, np.full(batch_size, step, dtype=np.uint32))
+            ops += batch_size
+            queries = rng.integers(
+                0, 2 * population, queries_per_step
+            ).astype(np.uint32)
+        else:
+            raise ValueError(f"unknown workload {workload!r}")
+
+        # The serving loop's policy evaluation point (the engine performs
+        # the same poll after every executed tick).
+        lsm.run_due_maintenance()
+
+        query_start = device.snapshot()
+        res = lsm.lookup(queries)
+        query_seconds.append(device.elapsed_since(query_start))
+        ops += int(queries.size)
+
+        digest.append(res.found.tobytes())
+        digest.append(res.values.tobytes())
+        step_seconds.append(device.elapsed_since(step_start))
+        step_ops.append(ops)
+
+    steady = num_steps // 2
+    steady_query_s = float(np.sum(query_seconds[steady:]))
+    steady_queries = queries_per_step * (num_steps - steady)
+    steady_total_s = float(np.sum(step_seconds[steady:]))
+    steady_ops = int(np.sum(step_ops[steady:]))
+    maint = lsm.maintenance_stats()
+
+    row: Dict[str, object] = {
+        "workload": workload,
+        "config": config,
+        "steps": num_steps,
+        "batch_size": batch_size,
+        "steady_query_rate_mqps": steady_queries / steady_query_s / 1e6,
+        "p95_query_ms": float(np.percentile(query_seconds[steady:], 95)) * 1e3,
+        "serving_rate_mops": steady_ops / steady_total_s / 1e6,
+        "maintenance_runs": maint["runs"],
+        "maintenance_cleanups": maint["cleanups"],
+        "maintenance_compactions": maint["compactions"],
+        "maintenance_ms": maint["simulated_seconds"] * 1e3,
+        "reclaimed_elements": maint["reclaimed_elements"],
+        "resident_elements_final": lsm.num_elements,
+        "occupied_levels_final": lsm.num_occupied_levels,
+    }
+    return row, digest
+
+
+def maintenance_rate_rows(
+    batch_size: int = 1 << 10,
+    num_steps: int = 48,
+    window_batches: int = 4,
+    queries_per_step: int = 1 << 11,
+    max_occupied_levels: int = 2,
+    stale_threshold: float = 0.35,
+    spec: Optional[GPUSpec] = None,
+    seed: int = 91,
+) -> List[Dict[str, object]]:
+    """One row per (workload, maintenance config) cell.
+
+    Every configuration of a workload replays byte-identical update and
+    query streams; ``answers_match`` records whether the cell's lookup
+    results were bit-identical to the ``none`` baseline's — the
+    answer-preservation guarantee of the maintenance subsystem, asserted
+    by ``benchmarks/test_maintenance.py``.
+    """
+    if spec is None:
+        spec = scaled_spec(
+            batch_size * num_steps, PAPER_INSERTION_ELEMENTS
+        )
+    rows: List[Dict[str, object]] = []
+    for workload in WORKLOADS:
+        digests: Dict[str, List[bytes]] = {}
+        for config in CONFIGS:
+            row, digest = _drive(
+                workload,
+                config,
+                batch_size=batch_size,
+                num_steps=num_steps,
+                window_batches=window_batches,
+                queries_per_step=queries_per_step,
+                spec=spec,
+                seed=seed,
+                max_occupied_levels=max_occupied_levels,
+                stale_threshold=stale_threshold,
+            )
+            digests[config] = digest
+            row["answers_match"] = digest == digests["none"]
+            baseline = next(
+                (r for r in rows
+                 if r["workload"] == workload and r["config"] == "none"),
+                row,
+            )
+            row["query_speedup_vs_none"] = (
+                float(row["steady_query_rate_mqps"])
+                / float(baseline["steady_query_rate_mqps"])
+            )
+            rows.append(row)
+    return rows

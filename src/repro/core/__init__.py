@@ -14,6 +14,11 @@ Public surface:
   implementing the batch semantics of Section III-A, used by the tests.
 * :mod:`repro.core.invariants` — checkers for the building invariants of
   Section III-D.
+* :mod:`repro.core.maintenance` — the maintenance subsystem: the cleanup
+  stage pipeline, incremental ``compact_levels`` compaction, and the
+  pluggable maintenance policies (:class:`ManualOnly`,
+  :class:`StaleFractionPolicy`, :class:`LevelCountPolicy`,
+  :class:`AnyOf`).
 """
 
 from repro.core.config import LSMConfig
@@ -22,6 +27,14 @@ from repro.core.batch import UpdateBatch
 from repro.core.level import Level
 from repro.core.run import SortedRun
 from repro.core.lsm import GPULSM, LookupResult, RangeResult
+from repro.core.maintenance import (
+    AnyOf,
+    LevelCountPolicy,
+    MaintenanceAction,
+    MaintenancePolicy,
+    ManualOnly,
+    StaleFractionPolicy,
+)
 from repro.core.semantics import ReferenceDictionary
 from repro.core.invariants import check_level_invariants, check_lsm_invariants
 
@@ -40,4 +53,10 @@ __all__ = [
     "ReferenceDictionary",
     "check_level_invariants",
     "check_lsm_invariants",
+    "MaintenancePolicy",
+    "MaintenanceAction",
+    "ManualOnly",
+    "StaleFractionPolicy",
+    "LevelCountPolicy",
+    "AnyOf",
 ]

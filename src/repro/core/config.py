@@ -10,10 +10,12 @@ like a debug build of the original code would assert its invariants).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.core.encoding import KeyEncoder
+from repro.core.maintenance import MaintenancePolicy
 
 
 def _is_power_of_two(n: int) -> bool:
@@ -73,6 +75,13 @@ class LSMConfig:
         How many leading binary-search probes are assumed cached when the
         query batch is sorted (versus the default 2 of
         :data:`repro.primitives.search.DEFAULT_CACHED_PROBES`).
+    maintenance_policy:
+        Optional :class:`repro.core.maintenance.MaintenancePolicy`
+        deciding when (and which) maintenance runs — evaluated by
+        :meth:`GPULSM.run_due_maintenance`, which the serving engine calls
+        after every executed tick and the sharded front-end evaluates per
+        shard.  ``None`` (the default) keeps cleanup / compaction fully
+        manual.
     """
 
     batch_size: int = 1 << 16
@@ -85,6 +94,7 @@ class LSMConfig:
     bloom_bits_per_key: int = 0
     sort_queries: bool = False
     sorted_probe_cached_probes: int = 8
+    maintenance_policy: Optional[MaintenancePolicy] = None
 
     def __post_init__(self) -> None:
         if not _is_power_of_two(self.batch_size) or self.batch_size < 2:
@@ -101,6 +111,13 @@ class LSMConfig:
             raise ValueError("bloom_bits_per_key must be in [0, 64]")
         if self.sorted_probe_cached_probes < 0:
             raise ValueError("sorted_probe_cached_probes must be non-negative")
+        if self.maintenance_policy is not None and not isinstance(
+            self.maintenance_policy, MaintenancePolicy
+        ):
+            raise TypeError(
+                "maintenance_policy must be a MaintenancePolicy instance "
+                "(ManualOnly / StaleFractionPolicy / LevelCountPolicy / AnyOf)"
+            )
         object.__setattr__(self, "key_dtype", key_dtype)
         object.__setattr__(self, "value_dtype", value_dtype)
 

@@ -27,10 +27,12 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import maintenance as maintenance_mod
 from repro.core.batch import UpdateBatch, build_update_batch
 from repro.core.config import LSMConfig
 from repro.core.encoding import KeyEncoder, STATUS_REGULAR
 from repro.core.filters import FilterStatsCounter, LevelFilters
+from repro.core.maintenance import MaintenanceStatsCounter
 from repro.core.level import Level
 from repro.core.run import SortedRun
 from repro.gpu.device import Device, get_default_device
@@ -132,6 +134,7 @@ class GPULSM:
         self.total_insertions = 0
         self.total_deletions = 0
         self.total_cleanups = 0
+        self.total_compactions = 0
         #: Structural epoch: incremented by every mutation that can change
         #: the level set (update cascades, bulk build, cleanup).  Queries
         #: never change it.  The mixed-operation executor of
@@ -146,9 +149,28 @@ class GPULSM:
         #: re-insertion, where the raw insertion counter alone would claim
         #: everything is live.
         self._live_keys_upper_bound = 0
+        #: Irreducible trailing-placebo count: the padding the most recent
+        #: cleanup added.  A re-run of cleanup would only remove and re-add
+        #: it, so :meth:`stale_fraction_estimate` excludes it — otherwise a
+        #: threshold policy would re-trigger cleanup forever with zero
+        #: reclaim.  The next cascade merges the placebos into ordinary
+        #: resident data, at which point they become reclaimable stale and
+        #: the counter resets.
+        self._trailing_placebos = 0
+        #: Index of the level holding the trailing placebos (the largest
+        #: level the last cleanup filled); -1 when there are none.
+        self._placebo_level = -1
         #: Lifetime pruning statistics of the query acceleration layer
         #: (fence / Bloom filters); see :meth:`filter_stats`.
         self._filter_stats = FilterStatsCounter()
+        #: Lifetime maintenance counters (per-policy triggers, reclaimed
+        #: elements, maintenance time); see :meth:`maintenance_stats`.
+        self._maintenance_stats = MaintenanceStatsCounter()
+        #: Epoch right after a cleanup that reclaimed nothing — a rebuild
+        #: repeated at this epoch would reproduce the same nothing, so
+        #: rebuild-on-trip policies quench until the structure changes
+        #: (every mutation bumps :attr:`epoch`, expiring the mark).
+        self._futile_rebuild_epoch: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -322,6 +344,10 @@ class GPULSM:
             self.total_insertions += batch.num_insertions
             self.total_deletions += batch.num_deletions
             self.epoch += 1
+            if self._trailing_placebos and i >= self._placebo_level:
+                # The cascade merged the padded level: its placebos are now
+                # ordinary resident data a future cleanup can reclaim.
+                self._trailing_placebos = 0
 
         if self.config.validate_invariants:
             from repro.core.invariants import check_lsm_invariants
@@ -382,7 +408,12 @@ class GPULSM:
             check_lsm_invariants(self)
 
     def _distribute_sorted(
-        self, run: SortedRun, num_batches: int, trailing_placebos: int = 0
+        self,
+        run: SortedRun,
+        num_batches: int,
+        trailing_placebos: int = 0,
+        clear_levels: Optional[List[Level]] = None,
+        kernel_name: str = "lsm.distribute_levels",
     ) -> None:
         """Slice one big sorted run into the levels for ``num_batches``.
 
@@ -396,8 +427,16 @@ class GPULSM:
         level filled and are excluded from that level's query filters, so
         a padded level's fence max is its largest *real* key instead of
         being pinned at ``max_key``.
+
+        ``clear_levels`` selects the levels emptied before filling.  The
+        default — every level — is the whole-structure rebuild of
+        ``bulk_build`` / ``cleanup``, which also takes ownership of
+        :attr:`num_batches`; incremental compaction passes just the
+        compacted prefix and keeps the batch-counter arithmetic to itself
+        (the prefix's batches are only part of the total).
         """
-        for lvl in self.levels:
+        whole_structure = clear_levels is None
+        for lvl in self.levels if whole_structure else clear_levels:
             lvl.clear()
         offset = 0
         filled: List[Level] = []
@@ -415,9 +454,10 @@ class GPULSM:
             self._attach_filters(level, trailing_placebos=exclude)
         if offset != run.size:
             raise AssertionError("level distribution did not consume the input")
-        self.num_batches = num_batches
+        if whole_structure:
+            self.num_batches = num_batches
         self.device.record_kernel(
-            "lsm.distribute_levels",
+            kernel_name,
             coalesced_read_bytes=run.nbytes,
             coalesced_write_bytes=run.nbytes,
             work_items=run.size,
@@ -877,109 +917,96 @@ class GPULSM:
         return counts
 
     # ------------------------------------------------------------------ #
-    # Cleanup
+    # Maintenance (cleanup, incremental compaction, policies)
     # ------------------------------------------------------------------ #
-    def cleanup(self) -> dict:
+    def cleanup(self, trigger: str = "manual") -> dict:
         """Remove tombstones, deleted elements and replaced duplicates.
 
-        Implementation follows Section IV-E: (1) iteratively merge all
-        occupied levels from the smallest to the largest with the
-        status-blind comparator, (2) mark stale elements, (3) compact the
-        valid elements with a two-bucket multisplit, (4) pad with placebo
-        tombstones of maximal key up to a multiple of ``b``, and (5)
-        redistribute the sorted survivors into fresh levels.
+        Section IV-E, expressed as the five composable stages of
+        :mod:`repro.core.maintenance`: merge every occupied level
+        (newest first), mark the valid elements, compact them with a
+        two-bucket multisplit, pad with placebo tombstones of maximal key
+        up to a multiple of ``b``, and redistribute into fresh levels.
+
+        ``trigger`` labels the run in the per-policy trigger counters of
+        :meth:`maintenance_stats` (policies pass their own name through
+        :meth:`run_due_maintenance`).
 
         Returns a small statistics dict (elements before/after, removed
         count, padding added) used by the benchmark harness.
         """
-        levels = self.occupied_levels()
-        before = self.num_elements
-        if not levels:
-            return {
-                "elements_before": 0,
-                "elements_after": 0,
-                "removed": 0,
-                "padding": 0,
-            }
+        return self._run_maintenance(
+            lambda: maintenance_mod.run_cleanup(self), trigger
+        )
 
-        with self.device.timed_region("lsm.cleanup", items=before):
-            # Step 1: merge every occupied level, newest first so equal keys
-            # stay ordered most-recent-first.
-            merged = levels[0].run
-            for level in levels[1:]:
-                merged = merged.merge(
-                    level.run,
-                    key=self.encoder.strip_status,
-                    device=self.device,
-                    kernel_name="lsm.cleanup.merge",
-                )
+    def compact_levels(self, k: int, trigger: str = "manual") -> dict:
+        """Incrementally compact the ``k`` smallest occupied levels into
+        their target level.
 
-            # Step 2: mark valid elements — the first (most recent) copy of
-            # each original key, provided it is not a tombstone.
-            first = merged.first_per_key(self.encoder.strip_status)
-            valid_mask = first & self.encoder.is_regular(merged.keys)
-            self.device.record_kernel(
-                "lsm.cleanup.mark",
-                coalesced_read_bytes=merged.keys.nbytes,
-                coalesced_write_bytes=merged.size,
-                work_items=merged.size,
+        The paper's cascade generalised (see
+        :func:`repro.core.maintenance.run_compaction`): merge only the
+        ``k`` most recent levels, drop the stale copies *within* that
+        prefix — replaced duplicates and elements shadowed by a prefix
+        tombstone — and fold the survivors into the single smallest level
+        that holds them, duplicate-padded, strictly below the untouched
+        levels.  Tombstones survive a partial prefix (they may shadow
+        older untouched copies; a whole-structure prefix drops them like
+        cleanup), every answer is bit-identical before and after, and the
+        cost scales with the touched prefix instead of the whole
+        structure.
+        """
+        return self._run_maintenance(
+            lambda: maintenance_mod.run_compaction(self, k), trigger
+        )
+
+    def _run_maintenance(self, operation, trigger: str) -> dict:
+        """Run one maintenance operation, recording its lifetime stats."""
+        seconds_before = self.device.simulated_seconds
+        stats = operation()
+        if stats["elements_before"] or stats["elements_after"]:
+            self._maintenance_stats.record(
+                stats, trigger, self.device.simulated_seconds - seconds_before
             )
+            if stats["kind"] == "cleanup" and not stats["removed"]:
+                # Nothing was stale: re-running the rebuild before the
+                # structure changes would reproduce the same nothing.
+                # Rebuild-on-trip policies read this mark to quench.
+                self._futile_rebuild_epoch = self.epoch
+        return stats
 
-            # Step 3: two-bucket multisplit — bucket 0 holds the valid
-            # elements, bucket 1 the stale ones (discarded).
-            bucket_of = lambda words: (~valid_mask).astype(np.int64)  # noqa: E731
-            reordered, bucket_offsets = merged.multisplit(
-                bucket_of,
-                num_buckets=2,
-                device=self.device,
-                kernel_name="lsm.cleanup.multisplit",
-            )
-            valid_run = reordered.slice(0, int(bucket_offsets[1]))
-            num_valid = valid_run.size
+    def maintenance_due(self) -> Optional["maintenance_mod.MaintenanceAction"]:
+        """Evaluate the configured maintenance policy (``None`` when no
+        policy is configured or nothing is due)."""
+        policy = self.config.maintenance_policy
+        if policy is None:
+            return None
+        return policy.decide(self)
 
-            # Step 4: pad with placebo elements (tombstones of maximal key)
-            # so the total stays a multiple of b.  An entirely-stale LSM
-            # becomes empty rather than a structure of pure padding.
-            if num_valid == 0:
-                new_batches = 0
-                final_run = valid_run
-                padding = 0
-            else:
-                new_batches = -(-num_valid // self.batch_size)
-                padded_n = new_batches * self.batch_size
-                padding = padded_n - num_valid
-                final_run = valid_run.pad(
-                    padded_n,
-                    fill_word=self.encoder.placebo_word,
-                    device=self.device,
-                    kernel_name="lsm.cleanup.pad",
-                )
+    def run_due_maintenance(self) -> Optional[dict]:
+        """Evaluate the configured policy and run what it asks for.
 
-            # Step 5: redistribute into fresh levels.
-            for lvl in self.levels:
-                lvl.clear()
-            self.num_batches = 0
-            if new_batches:
-                self._distribute_sorted(
-                    final_run, new_batches, trailing_placebos=padding
-                )
-            self.total_cleanups += 1
-            self.epoch += 1
-            # After cleanup every resident non-placebo element is live, so
-            # the live-population bound becomes exact.
-            self._live_keys_upper_bound = num_valid
+        This is the single evaluation entry point of the maintenance
+        subsystem: the serving engine calls it after every executed tick
+        (between ticks, on the executor thread — maintenance bumps
+        :attr:`epoch` exactly like a cascade and never interleaves with a
+        tick's pinned reads), :class:`~repro.scale.sharded.ShardedLSM`
+        calls it per shard, and ingest loops call it once per step.
+        Returns the operation's statistics dict, or ``None`` when nothing
+        was due.
+        """
+        action = self.maintenance_due()
+        if action is None:
+            return None
+        if action.kind == "cleanup":
+            return self.cleanup(trigger=action.policy)
+        return self.compact_levels(action.levels, trigger=action.policy)
 
-        if self.config.validate_invariants:
-            from repro.core.invariants import check_lsm_invariants
-
-            check_lsm_invariants(self)
-
-        return {
-            "elements_before": before,
-            "elements_after": self.num_elements,
-            "removed": before - num_valid,
-            "padding": padding,
-        }
+    def maintenance_stats(self) -> dict:
+        """Lifetime maintenance counters: runs split by kind, per-policy
+        trigger counts, reclaimed elements, padding added and the
+        simulated device time maintenance consumed.  Surfaced by
+        :attr:`repro.serve.engine.EngineStats.backend_maintenance`."""
+        return self._maintenance_stats.as_dict()
 
     # ------------------------------------------------------------------ #
     # Convenience
@@ -1001,21 +1028,31 @@ class GPULSM:
         )
 
     def stale_fraction_estimate(self) -> float:
-        """Crude upper bound on the fraction of stale resident elements,
-        derived from the lifetime update counters; used by cleanup policies
-        in the examples.
+        """Crude upper bound on the fraction of *reclaimable* stale
+        resident elements, derived from the lifetime update counters; this
+        is what :class:`~repro.core.maintenance.StaleFractionPolicy` reads.
 
         The live population is bounded both by the insertion/deletion flow
         (``total_insertions - total_deletions``) and by the accumulated
         number of *distinct* inserted keys, so repeatedly re-inserting the
         same key — which inflates ``total_insertions`` without growing the
         live population — no longer drives the estimate to zero.
+
+        The irreducible trailing placebos the most recent cleanup padded
+        with are excluded from both sides of the fraction: re-running
+        cleanup would only remove and re-add them, so counting them as
+        stale made a threshold policy re-trigger cleanup forever with zero
+        reclaim.  Right after a cleanup the estimate is therefore exactly
+        ``0.0``, padding or not.  Once a cascade merges the padded level,
+        the placebos become ordinary reclaimable stale data and re-enter
+        the estimate.
         """
-        if self.num_elements == 0:
+        physical = self.num_elements - self._trailing_placebos
+        if physical <= 0:
             return 0.0
         flow_bound = max(0, self.total_insertions - self.total_deletions)
         live_upper_bound = min(
-            flow_bound, self._live_keys_upper_bound, self.num_elements
+            flow_bound, self._live_keys_upper_bound, physical
         )
-        stale = self.num_elements - live_upper_bound
-        return min(1.0, stale / self.num_elements)
+        stale = physical - live_upper_bound
+        return min(1.0, stale / physical)

@@ -32,7 +32,7 @@ concurrently), which is what the sharded benchmark workload reports.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from repro.core.config import LSMConfig
 from repro.core.encoding import STATUS_REGULAR, STATUS_TOMBSTONE
 from repro.core.filters import FilterStatsCounter
 from repro.core.lsm import GPULSM, LookupResult, RangeResult
+from repro.core.maintenance import MaintenancePolicy, MaintenanceStatsCounter
 from repro.core.run import SortedRun
 from repro.gpu.device import Device
 from repro.gpu.spec import GPUSpec, K40C_SPEC
@@ -84,6 +85,12 @@ class ShardedLSM:
         :meth:`filter_stats` aggregates the pruning statistics across
         shards.  ``sorted_probe_cached_probes`` defaults to the
         :class:`LSMConfig` default when ``None``.
+    maintenance_policy:
+        Optional :class:`~repro.core.maintenance.MaintenancePolicy`
+        forwarded into every per-shard :class:`LSMConfig`.
+        :meth:`run_due_maintenance` evaluates it **per shard** — each
+        shard reads its own stale-fraction estimate and occupied-level
+        count — and compacts only the shards that trip their threshold.
     """
 
     def __init__(
@@ -100,6 +107,7 @@ class ShardedLSM:
         bloom_bits_per_key: int = 0,
         sort_queries: bool = False,
         sorted_probe_cached_probes: Optional[int] = None,
+        maintenance_policy: Optional[MaintenancePolicy] = None,
     ) -> None:
         if not 1 <= num_shards <= MAX_WARP_BUCKETS:
             raise ValueError(
@@ -126,6 +134,7 @@ class ShardedLSM:
             enable_fences=enable_fences,
             bloom_bits_per_key=bloom_bits_per_key,
             sort_queries=sort_queries,
+            maintenance_policy=maintenance_policy,
             **accel_overrides,
         )
         self.encoder = self.shard_config.encoder
@@ -529,15 +538,82 @@ class ShardedLSM:
     # ------------------------------------------------------------------ #
     # Maintenance and profiling
     # ------------------------------------------------------------------ #
-    def cleanup(self) -> dict:
-        """Run cleanup on every shard; returns aggregated statistics."""
+    def _resolve_shard_ids(self, shards: Optional[Sequence[int]]) -> List[int]:
+        if shards is None:
+            return list(range(self.num_shards))
+        ids = sorted({int(s) for s in shards})
+        for s in ids:
+            if not 0 <= s < self.num_shards:
+                raise ValueError(
+                    f"shard id {s} out of range [0, {self.num_shards})"
+                )
+        return ids
+
+    @staticmethod
+    def _aggregate_maintenance(per_shard: Dict[int, dict]) -> dict:
         totals = {"elements_before": 0, "elements_after": 0, "removed": 0,
                   "padding": 0}
-        for shard in self.shards:
-            stats = shard.cleanup()
+        for stats in per_shard.values():
             for key in totals:
                 totals[key] += stats[key]
+        totals["shards"] = sorted(per_shard)
         return totals
+
+    def cleanup(
+        self, shards: Optional[Sequence[int]] = None, trigger: str = "manual"
+    ) -> dict:
+        """Run a full cleanup on the selected shards (all by default).
+
+        ``cleanup(shards=[2, 5])`` rebuilds only those shards — the
+        selective form the per-shard policies use, so one hot shard's
+        staleness never forces a whole-fleet rebuild.  Returns the
+        aggregated statistics plus the ``shards`` actually cleaned.
+        """
+        ids = self._resolve_shard_ids(shards)
+        return self._aggregate_maintenance(
+            {s: self.shards[s].cleanup(trigger=trigger) for s in ids}
+        )
+
+    def compact_levels(
+        self,
+        k: int,
+        shards: Optional[Sequence[int]] = None,
+        trigger: str = "manual",
+    ) -> dict:
+        """Incrementally compact the ``k`` smallest occupied levels of the
+        selected shards (all by default); see
+        :meth:`repro.core.lsm.GPULSM.compact_levels`."""
+        ids = self._resolve_shard_ids(shards)
+        return self._aggregate_maintenance(
+            {s: self.shards[s].compact_levels(k, trigger=trigger) for s in ids}
+        )
+
+    def run_due_maintenance(self) -> Optional[dict]:
+        """Evaluate the maintenance policy **per shard**; run it only on
+        the shards that trip.
+
+        Each shard's policy decision reads that shard's own counters
+        (stale fraction, occupied levels), so a skewed keyspace compacts
+        exactly the hot shards.  Returns the aggregated statistics of the
+        shards that ran (with their ids under ``"shards"``), or ``None``
+        when no shard was due.
+        """
+        ran: Dict[int, dict] = {}
+        for s, shard in enumerate(self.shards):
+            stats = shard.run_due_maintenance()
+            if stats is not None:
+                ran[s] = stats
+        if not ran:
+            return None
+        return self._aggregate_maintenance(ran)
+
+    def maintenance_stats(self) -> dict:
+        """Merged lifetime maintenance counters across every shard (same
+        schema as :meth:`repro.core.lsm.GPULSM.maintenance_stats`)."""
+        combined = MaintenanceStatsCounter()
+        for shard in self.shards:
+            combined.merge_dict(shard.maintenance_stats())
+        return combined.as_dict()
 
     def shard_stats(self) -> List[dict]:
         """Per-shard occupancy and profiler counters (for the bench report)."""

@@ -29,6 +29,18 @@ The engine also serves as the substrate of the single-client facade:
 :meth:`Engine.apply`, which runs one caller-formed tick inline (no queue,
 no threads) through the same plan/execute path and the same telemetry.
 
+The engine is also the **maintenance scheduler**: after every executed
+tick (threaded or inline) the executor polls
+``backend.run_due_maintenance()`` under the executor lock — on the
+threaded path the lock is re-acquired once the tick's tickets have
+resolved, so waiting clients never pay for a rebuild (an inline tick from
+another thread may execute in between; the poll then simply sees the
+newer state).  Policy-driven cleanup / incremental compaction
+(:mod:`repro.core.maintenance`) thus runs *between* ticks — it bumps the
+structural epoch exactly like a cascade and can never interleave with a
+tick's pinned reads, preserving the SNAPSHOT contract.  Trigger counts,
+reclaimed elements and maintenance time surface in :meth:`Engine.stats`.
+
 Telemetry (:meth:`Engine.stats`) follows the conventions of
 :mod:`repro.gpu.profiler`: simulated seconds from the device counters,
 ``rate_m_per_s`` via the cost model, and latency percentiles through
@@ -217,6 +229,18 @@ class EngineStats:
     #: counts, fence/Bloom prune rates, false-positive rate, filter memory),
     #: or ``None`` for backends without a query acceleration layer.
     backend_filters: Optional[Dict[str, float]] = None
+    #: Maintenance runs the engine itself scheduled between ticks (the
+    #: executor-thread polls of ``backend.run_due_maintenance``), with the
+    #: simulated device time and resident elements they reclaimed.
+    maintenance_runs: int = 0
+    maintenance_seconds: float = 0.0
+    maintenance_reclaimed: int = 0
+    #: The backend's lifetime maintenance counters
+    #: (``GPULSM.maintenance_stats`` / ``ShardedLSM.maintenance_stats``:
+    #: runs by kind, per-policy trigger counts, reclaimed elements,
+    #: padding, maintenance time), or ``None`` for backends without a
+    #: maintenance subsystem.
+    backend_maintenance: Optional[Dict[str, object]] = None
 
     @property
     def ops_per_second(self) -> float:
@@ -251,6 +275,7 @@ class EngineStats:
                     if self.backend_filters
                     else float("nan")
                 ),
+                "maintenance_ms": self.maintenance_seconds * 1e3,
             }
         ]
 
@@ -334,6 +359,9 @@ class Engine:
         self._tick_latencies: Deque[float] = collections.deque(maxlen=_LATENCY_SAMPLES)
         self._sim_seconds_total = 0.0
         self._plan_seconds_total = 0.0
+        self._maintenance_runs = 0
+        self._maintenance_seconds = 0.0
+        self._maintenance_reclaimed = 0
         self._max_queue_seen = 0
         self._t_first: Optional[float] = None
         self._t_last_done: Optional[float] = None
@@ -541,6 +569,8 @@ class Engine:
                     t_done=t1,
                     failed=failed,
                 )
+            if not failed:
+                self._run_due_maintenance_locked()
         return result
 
     # ------------------------------------------------------------------ #
@@ -657,6 +687,74 @@ class Engine:
             last_seq=tick.last_seq,
         )
 
+        if error is None:
+            # Engine-scheduled maintenance: evaluate the backend's
+            # policies between ticks, on this executor thread and under
+            # the executor lock — a maintenance pass bumps the structural
+            # epoch exactly like a cascade and can never interleave with
+            # a tick's pinned reads.  It runs *after* the tick's tickets
+            # resolved and its latency was stamped, so waiting clients
+            # never pay for a rebuild and maintenance time stays out of
+            # the per-op latency percentiles.
+            with self._exec_lock:
+                self._run_due_maintenance_locked()
+
+    # ------------------------------------------------------------------ #
+    # Engine-scheduled maintenance
+    # ------------------------------------------------------------------ #
+    def run_due_maintenance(self) -> Optional[Dict[str, object]]:
+        """Evaluate the backend's maintenance policy now, under the
+        executor lock.
+
+        This is the engine's own between-tick poll made available to
+        callers (the :class:`~repro.api.kvstore.KVStore` facade forwards
+        to it): taking the executor lock means the run can never
+        interleave with a tick the executor thread is executing, and the
+        run lands in the engine's maintenance telemetry.  Returns the
+        maintenance statistics dict, or ``None`` when the backend has no
+        maintenance subsystem or nothing was due.
+        """
+        with self._exec_lock:
+            return self._run_due_maintenance_locked()
+
+    def _run_due_maintenance_locked(self) -> Optional[Dict[str, object]]:
+        """Poll the backend's maintenance policies (holding the executor
+        lock, right after a tick executed).
+
+        Backends without a maintenance subsystem (the baselines) are a
+        no-op.  The reclaimed-element and simulated-time telemetry lands
+        in :meth:`stats`; the time is kept out of the per-tick
+        ``simulated_seconds`` so tick throughput and maintenance cost stay
+        separately attributable.
+        """
+        run_due = getattr(self.backend, "run_due_maintenance", None)
+        if not callable(run_due):
+            return None
+        sim_before = simulated_seconds(self.backend)
+        stats = run_due()
+        if stats is None:
+            return None
+        sim_delta = simulated_seconds(self.backend) - sim_before
+        # Stale elements dropped — monotone; fold padding can make the
+        # *net* resident-size delta smaller or negative, which would read
+        # nonsensically as a "reclaimed" figure.
+        reclaimed = int(stats.get("removed", 0))
+        with self._cond:
+            self._maintenance_runs += 1
+            self._maintenance_seconds += sim_delta
+            self._maintenance_reclaimed += reclaimed
+        return stats
+
+    def backend_maintenance_stats(self) -> Optional[Dict[str, object]]:
+        """The backend's lifetime maintenance counters (``None`` when the
+        backend has no maintenance subsystem) — the same dict
+        :meth:`stats` snapshots as ``backend_maintenance``; the
+        :class:`~repro.api.kvstore.KVStore` facade forwards to this."""
+        stats_fn = getattr(self.backend, "maintenance_stats", None)
+        if not callable(stats_fn):
+            return None
+        return stats_fn()
+
     # ------------------------------------------------------------------ #
     # Telemetry
     # ------------------------------------------------------------------ #
@@ -732,6 +830,10 @@ class Engine:
                 plan_seconds=self._plan_seconds_total,
                 wall_seconds=wall,
                 backend_filters=self._backend_filter_stats(),
+                maintenance_runs=self._maintenance_runs,
+                maintenance_seconds=self._maintenance_seconds,
+                maintenance_reclaimed=self._maintenance_reclaimed,
+                backend_maintenance=self.backend_maintenance_stats(),
             )
 
     def _backend_filter_stats(self) -> Optional[Dict[str, float]]:

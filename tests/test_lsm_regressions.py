@@ -82,7 +82,13 @@ class TestStaleFractionEstimate:
         # All 16 resident elements are stale (8 deleted + 8 tombstones).
         assert lsm.stale_fraction_estimate() == 1.0
 
-    def test_cleanup_resets_the_estimate(self, device):
+    def test_cleanup_resets_the_estimate_despite_padding(self, device):
+        # Regression: padding placebos used to be counted as stale
+        # (``_live_keys_upper_bound = num_valid`` while ``num_elements``
+        # includes the padding), so a threshold policy re-triggered
+        # cleanup forever with zero reclaim.  The irreducible trailing
+        # placebos are now excluded: right after a cleanup the estimate
+        # is exactly 0.0, padding or not.
         b = 8
         lsm = GPULSM(config=LSMConfig(batch_size=b), device=device)
         for i in range(4):
@@ -90,11 +96,51 @@ class TestStaleFractionEstimate:
                 np.full(b, 7, dtype=np.uint32), np.full(b, i, dtype=np.uint32)
             )
         assert lsm.stale_fraction_estimate() > 0.5
-        lsm.cleanup()
+        stats = lsm.cleanup()
         # One live element survives, padded up to one batch of placebos.
         assert lsm.num_elements == b
-        # Post-cleanup the estimate reflects only the padding placebos.
-        assert lsm.stale_fraction_estimate() == pytest.approx((b - 1) / b)
+        assert stats["padding"] == b - 1
+        assert lsm.stale_fraction_estimate() == 0.0
+
+    def test_threshold_policy_cannot_retrigger_on_pure_padding(self, device):
+        from repro.core.maintenance import StaleFractionPolicy
+
+        b = 8
+        lsm = GPULSM(
+            config=LSMConfig(
+                batch_size=b,
+                maintenance_policy=StaleFractionPolicy(threshold=0.3),
+            ),
+            device=device,
+        )
+        for i in range(4):
+            lsm.insert(
+                np.full(b, 7, dtype=np.uint32), np.full(b, i, dtype=np.uint32)
+            )
+        assert lsm.run_due_maintenance() is not None   # genuine staleness
+        # Padding > 0 survives the cleanup, yet nothing further is due.
+        assert lsm.num_elements == b
+        assert lsm.run_due_maintenance() is None
+
+    def test_placebos_count_again_once_a_cascade_merges_them(self, device):
+        b = 8
+        lsm = GPULSM(config=LSMConfig(batch_size=b), device=device)
+        for i in range(4):
+            lsm.insert(
+                np.full(b, 7, dtype=np.uint32), np.full(b, i, dtype=np.uint32)
+            )
+        lsm.cleanup()
+        assert lsm.stale_fraction_estimate() == 0.0
+        # Cascades that merge the padded level fold the placebos into
+        # ordinary (reclaimable) stale data: the estimate must see them.
+        for i in range(3):
+            lsm.insert(
+                np.arange(i * b, (i + 1) * b, dtype=np.uint32),
+                np.zeros(b, dtype=np.uint32),
+            )
+        # 4 batches resident, 1 + 24 live elements: the 7 old placebos are
+        # stale again.
+        assert lsm.stale_fraction_estimate() == pytest.approx(7 / 32)
 
     def test_bulk_build_duplicates_feed_the_bound(self, device):
         b = 8

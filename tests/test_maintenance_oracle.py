@@ -1,0 +1,199 @@
+"""Hypothesis oracle: maintenance is answer-invariant.
+
+Random insert / delete / ``compact_levels(k)`` / ``cleanup`` traces drive
+the same dictionary with query filters off and on (fences+Bloom) plus a
+plain Python dict oracle, on both the single-device :class:`GPULSM` and a
+four-shard :class:`ShardedLSM`.  After every step:
+
+* ``lookup`` / ``count`` / ``range_query`` agree with the oracle in every
+  configuration — maintenance may move, drop and pad elements, never
+  change an answer;
+* every occupied level carries query filters exactly when the
+  configuration enables them (rebuilt levels get fresh filters);
+* the multiple-of-``b`` shape invariants of Section III-B hold after
+  every partial compaction (occupied levels are the set bits of the batch
+  counter; each level is completely full).
+
+This is the end-to-end guarantee of the maintenance subsystem: cleanup
+and incremental compaction are structural operations only.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import LSMConfig
+from repro.core.invariants import check_lsm_invariants
+from repro.core.lsm import GPULSM
+from repro.gpu.device import Device
+from repro.gpu.spec import K40C_SPEC
+from repro.scale import ShardedLSM
+
+KEY_SPACE = 96
+BATCH = 16
+
+#: Filters off and the full acceleration stack: maintenance must rebuild
+#: the filters of every level it refills.
+FILTER_MODES = (
+    ("off", {}),
+    ("fences+bloom", dict(enable_fences=True, bloom_bits_per_key=10)),
+)
+
+key_strategy = st.integers(min_value=0, max_value=KEY_SPACE - 1)
+value_strategy = st.integers(min_value=0, max_value=1000)
+pair_strategy = st.tuples(key_strategy, value_strategy)
+#: Maintenance action after a step: None, full cleanup, or an incremental
+#: compaction of the k smallest occupied levels.
+action_strategy = st.one_of(
+    st.none(),
+    st.just("cleanup"),
+    st.integers(min_value=1, max_value=4),
+)
+step_strategy = st.tuples(
+    st.lists(pair_strategy, max_size=6),   # insertions
+    st.lists(key_strategy, max_size=6),    # deletions (tombstones)
+    action_strategy,
+).filter(lambda t: len(t[0]) + len(t[1]) >= 1)
+trace_strategy = st.lists(step_strategy, min_size=1, max_size=6)
+
+
+def _make_backends(kind):
+    if kind == "gpulsm":
+        return {
+            name: GPULSM(
+                config=LSMConfig(
+                    batch_size=BATCH, validate_invariants=True, **kwargs
+                ),
+                device=Device(K40C_SPEC, seed=23),
+            )
+            for name, kwargs in FILTER_MODES
+        }
+    return {
+        name: ShardedLSM(
+            num_shards=4,
+            batch_size=BATCH,
+            key_domain=KEY_SPACE,
+            seed=23,
+            validate_invariants=True,
+            **kwargs,
+        )
+        for name, kwargs in FILTER_MODES
+    }
+
+
+def _oracle_apply(oracle, inserts, deletes):
+    """The paper's batch semantics on a python dict: a delete anywhere in
+    the batch dominates its key; among insertions the first wins."""
+    deleted = set(deletes)
+    first_insert = {}
+    for k, v in inserts:
+        first_insert.setdefault(k, v)
+    for k in deleted:
+        oracle.pop(k, None)
+    for k, v in first_insert.items():
+        if k not in deleted:
+            oracle[k] = v
+
+
+def _each_lsm(backend):
+    yield from getattr(backend, "shards", [backend])
+
+
+def _check_structure(backend, name, filters_on):
+    """Level-shape and filter-attachment invariants after maintenance."""
+    for lsm in _each_lsm(backend):
+        check_lsm_invariants(lsm)
+        assert lsm.num_elements % lsm.batch_size == 0, name
+        for level in lsm.occupied_levels():
+            assert (level.filters is not None) == filters_on, (
+                name,
+                level.index,
+            )
+
+
+def _check_agreement(backends, oracle, queries, k1, k2):
+    expected_found = [k in oracle for k in queries.tolist()]
+    expected_counts = [
+        sum(1 for k in oracle if lo <= k <= hi)
+        for lo, hi in zip(k1.tolist(), k2.tolist())
+    ]
+    for name, backend in backends.items():
+        res = backend.lookup(queries)
+        assert res.found.tolist() == expected_found, name
+        for i, k in enumerate(queries.tolist()):
+            if k in oracle:
+                assert int(res.values[i]) == oracle[k], (name, k)
+        counts = backend.count(k1, k2)
+        assert counts.tolist() == expected_counts, name
+        rr = backend.range_query(k1, k2)
+        for i, (lo, hi) in enumerate(zip(k1.tolist(), k2.tolist())):
+            expected_pairs = sorted(
+                (k, v) for k, v in oracle.items() if lo <= k <= hi
+            )
+            keys_i, vals_i = rr.query_slice(i)
+            got = [(int(k), int(v)) for k, v in zip(keys_i, vals_i)]
+            assert got == expected_pairs, (name, lo, hi)
+
+
+def run_trace(kind, trace):
+    backends = _make_backends(kind)
+    oracle = {}
+    all_keys = np.arange(KEY_SPACE + 8, dtype=np.uint32)  # misses included
+    k1 = np.array([0, 30, 7, 90], dtype=np.uint32)
+    k2 = np.array([KEY_SPACE - 1, 60, 7, KEY_SPACE + 4], dtype=np.uint32)
+
+    for inserts, deletes, action in trace:
+        ins_keys = np.array([k for k, _ in inserts], dtype=np.uint32)
+        ins_vals = np.array([v for _, v in inserts], dtype=np.uint32)
+        del_keys = np.array(deletes, dtype=np.uint32)
+        for backend in backends.values():
+            backend.update(
+                insert_keys=ins_keys if ins_keys.size else None,
+                insert_values=ins_vals if ins_keys.size else None,
+                delete_keys=del_keys if del_keys.size else None,
+            )
+        _oracle_apply(oracle, inserts, deletes)
+        if action == "cleanup":
+            for backend in backends.values():
+                backend.cleanup()
+        elif action is not None:
+            for backend in backends.values():
+                backend.compact_levels(action)
+        for (name, kwargs), backend in zip(FILTER_MODES, backends.values()):
+            _check_structure(backend, name, filters_on=bool(kwargs))
+        _check_agreement(backends, oracle, all_keys, k1, k2)
+
+
+class TestMaintenanceOracle:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=trace_strategy)
+    def test_gpulsm_maintenance_is_answer_invariant(self, trace):
+        run_trace("gpulsm", trace)
+
+    @settings(max_examples=10, deadline=None)
+    @given(trace=trace_strategy)
+    def test_sharded4_maintenance_is_answer_invariant(self, trace):
+        run_trace("sharded", trace)
+
+    @pytest.mark.parametrize("kind", ["gpulsm", "sharded"])
+    def test_tombstone_shadowing_survives_partial_compaction(self, kind):
+        """Deterministic worst case: a compacted prefix tombstone must keep
+        shadowing a regular copy in an older, untouched level."""
+        trace = [
+            ([(k, k * 2) for k in range(12)], [], None),
+            ([], list(range(0, 12, 2)), 1),        # tombstones, compact k=1
+            ([(1, 99), (0, 77)], [3], 2),           # reinsert, compact k=2
+            ([(5, 5)], [1], "cleanup"),             # full cleanup at the end
+        ]
+        run_trace(kind, trace)
+
+    @pytest.mark.parametrize("kind", ["gpulsm", "sharded"])
+    def test_compaction_after_cleanup_padding(self, kind):
+        """Partial compaction of a structure whose largest level carries
+        cleanup placebos must leave them (and every answer) intact."""
+        trace = [
+            ([(k, k) for k in range(11)], [], "cleanup"),   # padded rebuild
+            ([(k, k + 1) for k in range(6)], [], 1),
+            ([], [2, 4], 2),
+        ]
+        run_trace(kind, trace)
