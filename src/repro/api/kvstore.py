@@ -53,6 +53,13 @@ class KVStore:
     batch_size / device / key_only:
         Forwarded to the default backend; ignored when ``backend`` is
         given.
+    cache_capacity:
+        When positive, the serving engine fronts the backend with an
+        epoch-guarded hot-key read cache of this many keys
+        (:class:`~repro.serve.cache.ReadCachedBackend`); answers stay
+        bit-identical.  ``None`` / ``0`` (the default) runs uncached.
+        Only ticks through :meth:`apply` / sessions are cached — the
+        legacy per-method surface forwards to the raw backend.
 
     Examples
     --------
@@ -78,19 +85,25 @@ class KVStore:
         batch_size: int = 1 << 16,
         device: Optional[Device] = None,
         key_only: bool = False,
+        cache_capacity: Optional[int] = None,
     ) -> None:
         if backend is None:
             backend = GPULSM(
                 batch_size=batch_size, device=device, key_only=key_only
             )
-        self.backend = backend
         self.consistency = Consistency(consistency)
         #: The serving engine this facade is a single-client view of:
         #: every tick runs through its inline plan → execute path (and its
         #: telemetry), so :class:`KVStore` and :class:`repro.serve.Engine`
         #: share one execution surface.  The engine is never started —
         #: the facade stays synchronous and thread-free.
-        self.engine = Engine(backend, consistency=self.consistency)
+        self.engine = Engine(
+            backend, consistency=self.consistency, cache_capacity=cache_capacity
+        )
+        #: The engine's view of the backend — the read-cache wrapper when
+        #: ``cache_capacity`` is set — so the legacy per-method surface
+        #: shares the cache (and its invalidation) with the tick path.
+        self.backend = self.engine.backend
 
     # ------------------------------------------------------------------ #
     # The mixed-operation surface

@@ -52,7 +52,8 @@ from repro.api.ops import (
     ResultStatus,
 )
 from repro.gpu.device import Device, get_default_device
-from repro.primitives.multisplit import multisplit_keys
+from repro.primitives.multisplit import _record_multisplit_traffic, multisplit_keys
+from repro.primitives.scan import exclusive_scan
 from repro.scale.protocol import UnsupportedOperationError, supports
 
 
@@ -134,9 +135,8 @@ def _split_by_opcode(
         device=device,
         kernel_name=kernel_name,
     )
-    return [
-        routed[int(offsets[g]) : int(offsets[g + 1])] for g in range(num_groups)
-    ]
+    # One np.split on the group offsets instead of per-group int() slicing.
+    return np.split(routed, offsets[1:-1])
 
 
 def plan_batch(
@@ -184,29 +184,55 @@ def plan_batch(
         return Plan(consistency=consistency, segments=tuple(segments))
 
     # Strict arrival order: cut the batch at every update/query boundary,
-    # then multisplit each query run by opcode (reads commute within a run).
+    # then group each query run by opcode (reads commute within a run).
+    # All runs are routed in ONE batched pass instead of one multisplit
+    # call per run: the run index is folded into the bucket key
+    # (``run_id * 4 + opcode-group``) and a single stable sort partitions
+    # every run's positions at once — a segmented multisplit, one launch
+    # for the whole tick regardless of how many runs the batch alternates
+    # through.
     is_update = batch.update_mask
-    run_starts = np.flatnonzero(
-        np.concatenate(([True], is_update[1:] != is_update[:-1]))
+    run_change = np.empty(n, dtype=bool)
+    run_change[0] = True
+    np.not_equal(is_update[1:], is_update[:-1], out=run_change[1:])
+    run_id = np.cumsum(run_change) - 1
+    # Composite bucket: update runs collapse to one segment (code 0);
+    # query positions split by opcode (codes 1..3, the arrival order of
+    # the kinds inside a run).
+    group_table = np.zeros(len(OpCode), dtype=np.int64)
+    group_table[OpCode.LOOKUP] = 1
+    group_table[OpCode.COUNT] = 2
+    group_table[OpCode.RANGE] = 3
+    composite = run_id * 4 + group_table[batch.opcodes]
+    order = np.argsort(composite, kind="stable")
+    sorted_comp = composite[order]
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    np.not_equal(sorted_comp[1:], sorted_comp[:-1], out=seg_start[1:])
+    bounds = np.append(np.flatnonzero(seg_start), n)
+    # Device accounting mirrors the per-run multisplits this replaces:
+    # one scan of the per-segment counts plus one histogram + scatter
+    # pass over the query positions (update runs pass through unrouted).
+    num_queries = int(n - np.count_nonzero(is_update))
+    exclusive_scan(
+        np.diff(bounds), device=device, kernel_name="api.plan.multisplit.scan"
     )
-    run_bounds = np.concatenate((run_starts, [n]))
-    for r in range(run_starts.size):
-        lo, hi = int(run_bounds[r]), int(run_bounds[r + 1])
-        run = positions[lo:hi]
-        if is_update[lo]:
-            segments.append(Segment(kind="update", indices=run))
-            continue
-        query_groups = _split_by_opcode(
-            batch,
-            run,
-            group_of={OpCode.LOOKUP: 0, OpCode.COUNT: 1, OpCode.RANGE: 2},
-            num_groups=3,
-            device=device,
-            kernel_name="api.plan.multisplit",
+    if num_queries:
+        _record_multisplit_traffic(
+            device,
+            num_queries * positions.dtype.itemsize,
+            num_queries,
+            3,
+            "api.plan.multisplit",
         )
-        for kind, idx in zip(("lookup", "count", "range"), query_groups):
-            if idx.size:
-                segments.append(Segment(kind=kind, indices=idx))
+    kind_of_code = ("update", "lookup", "count", "range")
+    for lo, hi in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+        segments.append(
+            Segment(
+                kind=kind_of_code[int(sorted_comp[lo]) & 3],
+                indices=order[lo:hi],
+            )
+        )
     return Plan(consistency=consistency, segments=tuple(segments))
 
 
@@ -266,8 +292,7 @@ class _ResultAccumulator:
 
     def mark_unsupported(self, indices: np.ndarray, error: UnsupportedOperationError) -> None:
         self.statuses[indices] = ResultStatus.UNSUPPORTED
-        for i in indices:
-            self.errors[int(i)] = error
+        self.errors.update(dict.fromkeys(indices.tolist(), error))
 
     def freeze(self) -> ResultBatch:
         offsets = np.zeros(self.batch.size + 1, dtype=np.int64)
@@ -279,19 +304,29 @@ class _ResultAccumulator:
             if any(values is not None for _, _, values, _ in self.range_chunks)
             else None
         )
-        for idx, keys, values, chunk_offsets in self.range_chunks:
-            widths = self.range_widths[idx]
-            chunk_total = int(widths.sum())
-            if chunk_total == 0:
-                continue
-            within = np.arange(chunk_total) - np.repeat(
-                np.cumsum(widths) - widths, widths
-            )
-            dest = np.repeat(offsets[idx], widths) + within
-            src = np.repeat(chunk_offsets[:-1], widths) + within
-            range_keys[dest] = keys[src]
-            if values is not None and range_values is not None:
-                range_values[dest] = values[src]
+        if total and self.range_chunks:
+            # All chunks scattered in one ragged pass: concatenate the
+            # per-chunk payloads (C-speed, one array per segment, not per
+            # op) and build a single destination/source index pair.
+            idx_all = np.concatenate([idx for idx, _, _, _ in self.range_chunks])
+            keys_all = np.concatenate([keys for _, keys, _, _ in self.range_chunks])
+            base = 0
+            src_starts = []
+            for _, keys, _, chunk_offsets in self.range_chunks:
+                src_starts.append(chunk_offsets[:-1] + base)
+                base += keys.size
+            src_start = np.concatenate(src_starts)
+            widths = self.range_widths[idx_all]
+            grand = int(widths.sum())
+            within = np.arange(grand) - np.repeat(np.cumsum(widths) - widths, widths)
+            dest = np.repeat(offsets[idx_all], widths) + within
+            src = np.repeat(src_start, widths) + within
+            range_keys[dest] = keys_all[src]
+            if range_values is not None:
+                values_all = np.concatenate(
+                    [values for _, _, values, _ in self.range_chunks]
+                )
+                range_values[dest] = values_all[src]
         return ResultBatch(
             request=self.batch,
             statuses=self.statuses,

@@ -157,6 +157,14 @@ class MixedOpConfig:
     expected_range_width:
         Target expected matches per COUNT/RANGE query, sized against the
         workload's expected live population (like Table IV's ``L``).
+    hot_key_count / hot_fraction:
+        Optional skew for LOOKUP traffic: when both are positive, a
+        deterministic hot set of ``hot_key_count`` keys is derived from
+        the seed and each LOOKUP independently draws its key from that
+        set with probability ``hot_fraction`` (uniform over the key space
+        otherwise).  **Default-off is bit-exact**: with the knobs at
+        their defaults no extra RNG draws happen, so pre-existing
+        configs generate the identical stream they always did.
     seed:
         RNG seed.
     """
@@ -168,6 +176,8 @@ class MixedOpConfig:
     )
     key_space: int = MAX_KEY - (1 << 20)
     expected_range_width: int = 8
+    hot_key_count: int = 0
+    hot_fraction: float = 0.0
     #: The single top-level seed of the whole workload.  Every random
     #: stream any consumer derives — the per-tick operation draws, a
     #: benchmark's arrival-time process — comes from this one value via
@@ -183,6 +193,16 @@ class MixedOpConfig:
         weights = dict(self.mix)
         if any(w < 0 for w in weights.values()) or sum(weights.values()) <= 0:
             raise ValueError("mix weights must be non-negative, sum positive")
+        if self.hot_key_count < 0:
+            raise ValueError("hot_key_count must be non-negative")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.hot_fraction > 0 and self.hot_key_count == 0:
+            raise ValueError("hot_fraction > 0 requires hot_key_count > 0")
+
+    @property
+    def hot_keys_enabled(self) -> bool:
+        return self.hot_key_count > 0 and self.hot_fraction > 0.0
 
 
 def derived_rng(seed: int, *stream: int) -> np.random.Generator:
@@ -213,7 +233,11 @@ def make_mixed_batches(config: MixedOpConfig) -> List[OpBatch]:
     ``SeedSequence(config.seed)``, so two calls with equal configs yield
     identical streams element for element, and no other consumer of the
     top-level seed (see :func:`derived_rng`) can perturb the operations.
-    There are no per-call seed parameters to fall out of sync.
+    There are no per-call seed parameters to fall out of sync.  The
+    hot-key knobs keep the guarantee: the hot set comes from its own
+    :func:`derived_rng` stream and the per-tick hot draws only happen when
+    the knobs are on, so default-config streams are bit-identical to what
+    they were before the knobs existed.
     """
     codes = np.array(sorted(config.mix), dtype=np.uint8)
     weights = np.array([config.mix[OpCode(c)] for c in codes], dtype=np.float64)
@@ -228,6 +252,8 @@ def make_mixed_batches(config: MixedOpConfig) -> List[OpBatch]:
         int(round(config.expected_range_width * config.key_space / expected_live)),
     )
     window = min(window, config.key_space - 1)
+
+    hot_keys = hot_key_set(config)
 
     num_ticks = config.num_ops // config.tick_size
     tick_seeds = np.random.SeedSequence(config.seed).spawn(num_ticks)
@@ -250,8 +276,35 @@ def make_mixed_batches(config: MixedOpConfig) -> List[OpBatch]:
             )
             keys[is_range] = k1
             range_ends[is_range] = np.minimum(k1 + window, MAX_KEY)
+        if hot_keys is not None:
+            # Drawn last, so every non-LOOKUP column of the tick is
+            # bit-identical to the same config with the knobs off.
+            lookup_pos = np.flatnonzero(opcodes == OpCode.LOOKUP)
+            if lookup_pos.size:
+                goes_hot = rng.random(lookup_pos.size) < config.hot_fraction
+                picks = rng.integers(0, hot_keys.size, lookup_pos.size)
+                hot_pos = lookup_pos[goes_hot]
+                keys[hot_pos] = hot_keys[picks[goes_hot]]
         batches.append(OpBatch(opcodes, keys, values, range_ends))
     return batches
+
+
+#: Stream tag of the hot-key set (see :func:`derived_rng`).
+_HOT_KEY_STREAM = 0x484F54  # "HOT"
+
+
+def hot_key_set(config: MixedOpConfig):
+    """The workload's deterministic hot-key set, or ``None`` when the
+    hot-key knobs are off.
+
+    Derived from the top-level seed on its own stream, so benchmarks can
+    pre-insert the hot set (making hot lookups actual hits) without
+    perturbing the operation stream.
+    """
+    if not config.hot_keys_enabled:
+        return None
+    rng = derived_rng(config.seed, _HOT_KEY_STREAM)
+    return rng.integers(0, config.key_space, config.hot_key_count, dtype=np.uint64)
 
 
 def make_workload(config: WorkloadConfig) -> Workload:

@@ -171,6 +171,13 @@ class GPULSM:
         #: rebuild-on-trip policies quench until the structure changes
         #: (every mutation bumps :attr:`epoch`, expiring the mark).
         self._futile_rebuild_epoch: Optional[int] = None
+        #: Epoch-keyed flat concatenation of the occupied levels'
+        #: key/value buffers (see :meth:`_flat_levels`): host-side stand-in
+        #: for the device's per-level base pointers, letting COUNT/RANGE
+        #: candidate collection run as one cross-level ragged gather.
+        self._flat_levels_cache: Optional[
+            Tuple[int, np.ndarray, Optional[np.ndarray], np.ndarray]
+        ] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -612,11 +619,15 @@ class GPULSM:
                 if self.key_only
                 else np.zeros(nq, dtype=self.config.value_dtype)
             )
+            # The unresolved set only ever shrinks, so it is carried as an
+            # index vector across levels (each level's bookkeeping is
+            # O(|still pending|)) instead of being recomputed from the
+            # full-width ``resolved`` mask per level.
+            unresolved = np.arange(nq, dtype=np.int64)
             for level in levels:
-                pending = np.flatnonzero(~resolved)
-                if pending.size == 0:
+                if unresolved.size == 0:
                     break
-                pending, q = self._prune_lookup_pending(level, qk, pending)
+                pending, q = self._prune_lookup_pending(level, qk, unresolved)
                 if pending.size == 0:
                     continue
                 self._filter_stats.searched += int(pending.size)
@@ -643,7 +654,10 @@ class GPULSM:
                 out_found[hit_idx] = True
                 if out_values is not None and level.values is not None:
                     out_values[hit_idx] = level.values[pos_c[hit]]
-                resolved[pending[match]] = True
+                matched = pending[match]
+                if matched.size:
+                    resolved[matched] = True
+                    unresolved = unresolved[~resolved[unresolved]]
 
             if order is None:
                 found, values = out_found, out_values
@@ -827,43 +841,82 @@ class GPULSM:
         query_offsets[:-1] = offsets_2d[:, 0]
         query_offsets[-1] = total
 
-        # Stage 3: gather candidates, one level at a time (vectorised over
-        # all queries; warp-cooperative coalesced writes on the device).
-        cand_keys = np.empty(total, dtype=self.config.key_dtype)
-        cand_values = (
-            np.empty(total, dtype=self.config.value_dtype) if with_values else None
+        # Stage 3: one ragged gather across every (query, level) chunk at
+        # once.  The flat chunk order is query-major — exactly the order
+        # the exclusive scan assigned output offsets in — so the
+        # destination of the combined gather is ``arange(total)`` and only
+        # the *source* indices need computing: per chunk, the level's base
+        # offset in the flat level concatenation plus the chunk's
+        # lower-bound position, plus a within-chunk ramp.
+        flat_keys, flat_values, bases = self._flat_levels(levels, with_values)
+        src_start = np.tile(bases, nq) + lows.reshape(-1)
+        within = np.arange(total) - np.repeat(
+            np.cumsum(flat_counts) - flat_counts, flat_counts
         )
-        gathered_bytes = 0
-        for j, level in enumerate(levels):
-            lengths = counts[:, j]
-            chunk_total = int(lengths.sum())
-            if chunk_total == 0:
-                continue
-            # Ragged gather: destination and source index vectors for all
-            # queries' chunks from this level at once.
-            dest_start = offsets_2d[:, j]
-            src_start = lows[:, j]
-            within = np.arange(chunk_total) - np.repeat(
-                np.cumsum(lengths) - lengths, lengths
+        src = np.repeat(src_start, flat_counts) + within
+        cand_keys = flat_keys[src]
+        cand_values = None
+        if with_values:
+            cand_values = (
+                flat_values[src]
+                if flat_values is not None
+                else np.zeros(total, dtype=self.config.value_dtype)
             )
-            dest = np.repeat(dest_start, lengths) + within
-            src = np.repeat(src_start, lengths) + within
-            cand_keys[dest] = level.keys[src]
-            if cand_values is not None and level.values is not None:
-                cand_values[dest] = level.values[src]
-            per_item = self.config.key_dtype.itemsize + (
-                self.config.value_dtype.itemsize if cand_values is not None else 0
-            )
-            gathered_bytes += chunk_total * per_item
+        per_item = self.config.key_dtype.itemsize + (
+            self.config.value_dtype.itemsize if cand_values is not None else 0
+        )
+        gathered_bytes = int(total) * per_item
 
         self.device.record_kernel(
             "lsm.query.gather",
             coalesced_read_bytes=gathered_bytes,
             coalesced_write_bytes=gathered_bytes,
             work_items=int(total),
-            launches=num_levels,
+            launches=1,
         )
         return SortedRun(cand_keys, cand_values), query_offsets
+
+    def _flat_levels(
+        self, levels: List[Level], with_values: bool
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+        """The occupied levels' buffers as one concatenation, plus each
+        level's base offset inside it (most recent level first, matching
+        ``occupied_levels()`` order).
+
+        This is a host-side stand-in for the device's array of per-level
+        base pointers: the real gather kernel indexes straight into the
+        resident level buffers, so building (and caching) the
+        concatenation records no simulated traffic — the same convention
+        as ``_distinct_regular_keys``'s free sort epilogue.  The cache is
+        keyed on the structural :attr:`epoch` (every mutation bumps it),
+        and values are concatenated lazily the first time a caller asks
+        for them at the current epoch.
+        """
+        cache = self._flat_levels_cache
+        need_values = with_values and not self.key_only
+        if cache is not None and cache[0] == self.epoch:
+            _, flat_keys, flat_values, bases = cache
+            if not need_values or flat_values is not None:
+                return flat_keys, flat_values, bases
+        flat_keys = np.concatenate([level.keys for level in levels])
+        flat_values = None
+        if need_values:
+            flat_values = np.concatenate(
+                [
+                    (
+                        level.values
+                        if level.values is not None
+                        else np.zeros(level.size, dtype=self.config.value_dtype)
+                    )
+                    for level in levels
+                ]
+            )
+        sizes = np.fromiter(
+            (level.size for level in levels), dtype=np.int64, count=len(levels)
+        )
+        bases = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(sizes)[:-1]])
+        self._flat_levels_cache = (self.epoch, flat_keys, flat_values, bases)
+        return flat_keys, flat_values, bases
 
     def _validate_candidates(
         self, sorted_words: np.ndarray, query_offsets: np.ndarray

@@ -10,6 +10,8 @@ measurements bracket operations with CUDA events.
 from __future__ import annotations
 
 import contextlib
+import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -38,7 +40,15 @@ def percentile_summary(
 
 @dataclass
 class ProfileRecord:
-    """One profiled region: name, traffic, and simulated cost breakdown."""
+    """One profiled region: name, traffic, and simulated cost breakdown.
+
+    ``wall_seconds`` is the *host* wall-clock (``time.perf_counter``) the
+    region took to simulate — a completely separate axis from the
+    simulated ``seconds`` the cost model assigns.  Simulated time answers
+    "how fast would the paper's GPU run this"; wall time answers "how fast
+    does this reproduction actually run", the metric the wall-clock
+    benchmark trajectory tracks.
+    """
 
     name: str
     items: int
@@ -47,6 +57,7 @@ class ProfileRecord:
     launches: int
     cost: KernelCost
     filter_bytes: int = 0
+    wall_seconds: float = 0.0
 
     @property
     def seconds(self) -> float:
@@ -56,6 +67,13 @@ class ProfileRecord:
     def rate_m_per_s(self) -> float:
         """Throughput in millions of items per simulated second."""
         return CostModel.rate_m_per_s(self.items, self.cost.seconds)
+
+    @property
+    def wall_rate_per_s(self) -> float:
+        """Throughput in items per *wall-clock* second (host speed)."""
+        if self.wall_seconds <= 0:
+            return float("nan")
+        return self.items / self.wall_seconds
 
     @property
     def total_bytes(self) -> int:
@@ -79,7 +97,9 @@ class Profiler:
         paper reports.
         """
         before = self._counter.snapshot()
+        wall_before = time.perf_counter()
         yield
+        wall_delta = time.perf_counter() - wall_before
         delta = self._counter.since(before)
         cost = self._cost_model.cost_of_snapshot(delta)
         self.records.append(
@@ -91,6 +111,7 @@ class Profiler:
                 launches=delta.launches,
                 cost=cost,
                 filter_bytes=delta.filter_bytes,
+                wall_seconds=wall_delta,
             )
         )
 
@@ -102,6 +123,12 @@ class Profiler:
         """Sum of simulated seconds for records whose name starts with a prefix."""
         return sum(
             r.seconds for r in self.records if r.name.startswith(name_prefix)
+        )
+
+    def total_wall_seconds(self, name_prefix: str = "") -> float:
+        """Sum of host wall-clock seconds for records matching a prefix."""
+        return sum(
+            r.wall_seconds for r in self.records if r.name.startswith(name_prefix)
         )
 
     def by_name(self) -> Dict[str, List[ProfileRecord]]:
@@ -125,6 +152,127 @@ class Profiler:
                 "coalesced_mib": r.coalesced_bytes / 1024**2,
                 "random_mib": r.random_bytes / 1024**2,
                 "kernel_launches": r.launches,
+                "wall_ms": r.wall_seconds * 1e3,
             }
             for r in self.records
         ]
+
+
+class LatencyHistogram:
+    """Bounded log-bucketed latency accumulator with O(1) recording.
+
+    :func:`percentile_summary` recomputes ``np.percentile`` over the full
+    sample list on every call — fine for a benchmark's one-shot report,
+    quadratic for a long-running engine polling :meth:`Engine.stats
+    <repro.serve.engine.Engine.stats>` between ticks.  This histogram
+    keeps a fixed number of geometrically spaced buckets instead:
+    ``record`` is a constant-time bucket increment, percentile queries
+    walk the (constant-size) bucket array, and memory never grows with
+    the number of samples.
+
+    Buckets span ``[min_latency, max_latency)`` with ``bins_per_octave``
+    buckets per factor of two, giving a bounded *relative* error of
+    ``2 ** (1 / bins_per_octave) - 1`` (≈ 4.5 % at the default 16) —
+    plenty for latency percentiles, whose inputs wobble far more than
+    that run to run.  Exact mean, count, min, and max are tracked on the
+    side.
+    """
+
+    __slots__ = ("_min", "_bins_per_octave", "_counts", "_count", "_sum",
+                 "_min_seen", "_max_seen")
+
+    def __init__(
+        self,
+        min_latency: float = 1e-7,
+        max_latency: float = 128.0,
+        bins_per_octave: int = 16,
+    ) -> None:
+        if not (0 < min_latency < max_latency):
+            raise ValueError("need 0 < min_latency < max_latency")
+        if bins_per_octave < 1:
+            raise ValueError("bins_per_octave must be >= 1")
+        self._min = float(min_latency)
+        self._bins_per_octave = int(bins_per_octave)
+        octaves = math.log2(max_latency / min_latency)
+        num_bins = int(math.ceil(octaves * bins_per_octave)) + 1
+        self._counts = np.zeros(num_bins, dtype=np.int64)
+        self._count = 0
+        self._sum = 0.0
+        self._min_seen = math.inf
+        self._max_seen = -math.inf
+
+    def _bin_of(self, value: float) -> int:
+        if value <= self._min:
+            return 0
+        bin_index = int(math.log2(value / self._min) * self._bins_per_octave)
+        return min(bin_index, self._counts.size - 1)
+
+    def record(self, value: float) -> None:
+        """Add one sample (seconds) — O(1)."""
+        self.record_weighted(value, 1)
+
+    def record_weighted(self, value: float, weight: int) -> None:
+        """Add ``weight`` identical samples in one O(1) update — the shape
+        a tick's resolution produces (every op of one submission shares
+        one submit→resolve latency)."""
+        if weight <= 0:
+            return
+        value = float(value)
+        self._counts[self._bin_of(value)] += weight
+        self._count += weight
+        self._sum += value * weight
+        if value < self._min_seen:
+            self._min_seen = value
+        if value > self._max_seen:
+            self._max_seen = value
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0–100), to within one bucket's width.
+
+        Returns the geometric midpoint of the bucket holding the rank,
+        clamped to the exact observed min/max so single-sample and
+        extreme queries stay sharp.
+        """
+        if self._count == 0:
+            return float("nan")
+        rank = (p / 100.0) * self._count
+        cumulative = np.cumsum(self._counts)
+        bin_index = int(np.searchsorted(cumulative, max(rank, 1), side="left"))
+        if bin_index == 0:
+            # The underflow bin holds everything <= min_latency; its only
+            # sharp representative is the exact observed minimum.
+            mid = self._min_seen
+        elif bin_index == self._counts.size - 1:
+            mid = self._max_seen  # overflow bin: ditto for the maximum
+        else:
+            lo = self._min * 2.0 ** (bin_index / self._bins_per_octave)
+            hi = self._min * 2.0 ** ((bin_index + 1) / self._bins_per_octave)
+            mid = math.sqrt(lo * hi)
+        return float(min(max(mid, self._min_seen), self._max_seen))
+
+    def summary(
+        self, percentiles: Sequence[int] = (50, 95, 99)
+    ) -> Dict[str, float]:
+        """The :func:`percentile_summary` columns plus ``mean`` — the
+        drop-in dict the serving telemetry exposes."""
+        out = {f"p{p}": self.percentile(p) for p in percentiles}
+        out["mean"] = self.mean
+        return out
+
+    def clear(self) -> None:
+        self._counts[:] = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min_seen = math.inf
+        self._max_seen = -math.inf

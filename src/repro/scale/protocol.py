@@ -119,10 +119,18 @@ def supports(dictionary: DictionaryProtocol, operation: str) -> bool:
     ``TypeError`` from a mismatched signature is evidence the surface is
     absent, not present.
 
-    Either way the verdict is memoised per ``(type(dictionary),
-    operation)`` — capabilities are class-level and static, so the probe
-    runs at most once per class, not once per call.
+    Probe verdicts are memoised per ``(type(dictionary), operation)`` —
+    capabilities are class-level and static, so the probe runs at most
+    once per class, not once per call.  The *declared* path is answered
+    fresh every call and never memoised: a wrapper such as
+    :class:`repro.serve.cache.ReadCachedBackend` forwards
+    ``supported_operations`` from whatever backend it wraps, so two
+    instances of the same wrapper class can legitimately give different
+    answers and a type-keyed cache entry would poison one of them.
     """
+    declared = getattr(dictionary, "supported_operations", None)
+    if callable(declared):
+        return operation in declared()
     key = (type(dictionary), operation)
     cached = _SUPPORTS_CACHE.get(key)
     if cached is not None:
@@ -133,10 +141,6 @@ def supports(dictionary: DictionaryProtocol, operation: str) -> bool:
 
 
 def _probe_supports(dictionary: DictionaryProtocol, operation: str) -> bool:
-    declared = getattr(dictionary, "supported_operations", None)
-    if callable(declared):
-        return operation in declared()
-
     method = getattr(dictionary, operation, None)
     if not callable(method):
         return False

@@ -21,6 +21,7 @@ exactly those batches:
 this engine's inline path.
 """
 
+from repro.serve.cache import DEFAULT_CACHE_CAPACITY, ReadCachedBackend
 from repro.serve.engine import (
     BatchTicket,
     Engine,
@@ -35,7 +36,9 @@ from repro.serve.scheduler import TickConfig, TickTrigger
 
 __all__ = [
     "BatchTicket",
+    "DEFAULT_CACHE_CAPACITY",
     "Engine",
+    "ReadCachedBackend",
     "EngineClosedError",
     "EngineSaturatedError",
     "EngineStats",

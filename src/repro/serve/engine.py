@@ -43,8 +43,10 @@ reclaimed elements and maintenance time surface in :meth:`Engine.stats`.
 
 Telemetry (:meth:`Engine.stats`) follows the conventions of
 :mod:`repro.gpu.profiler`: simulated seconds from the device counters,
-``rate_m_per_s`` via the cost model, and latency percentiles through
-:func:`repro.gpu.profiler.percentile_summary`.
+``rate_m_per_s`` via the cost model, wall-clock ops/s alongside (the two
+time axes never mix), and latency percentiles through the bounded
+:class:`repro.gpu.profiler.LatencyHistogram` — so a long-running engine's
+``stats()`` never rescans a growing sample list.
 """
 
 from __future__ import annotations
@@ -68,8 +70,9 @@ from repro.api.planner import (
 )
 from repro.gpu.cost_model import CostModel
 from repro.gpu.device import Device
-from repro.gpu.profiler import percentile_summary
+from repro.gpu.profiler import LatencyHistogram
 from repro.scale.protocol import simulated_seconds
+from repro.serve.cache import ReadCachedBackend
 from repro.serve.scheduler import TickConfig, TickTrigger
 
 
@@ -241,6 +244,10 @@ class EngineStats:
     #: padding, maintenance time), or ``None`` for backends without a
     #: maintenance subsystem.
     backend_maintenance: Optional[Dict[str, object]] = None
+    #: Hot-key read-cache counters (``ReadCachedBackend.cache_stats``:
+    #: hits, misses, fills, evictions, wholesale epoch invalidations), or
+    #: ``None`` when the engine runs uncached.
+    read_cache: Optional[Dict[str, int]] = None
 
     @property
     def ops_per_second(self) -> float:
@@ -265,6 +272,7 @@ class EngineStats:
                 "mean_tick_size": self.mean_tick_size,
                 "simulated_ms": self.simulated_seconds * 1e3,
                 "rate_m_per_s": self.simulated_rate_m_per_s,
+                "wall_ops_per_s": self.ops_per_second,
                 "plan_ms": self.plan_seconds * 1e3,
                 "queue_depth": self.queue_depth,
                 "p50_latency_ms": self.op_latency.get("p50", float("nan")) * 1e3,
@@ -280,9 +288,6 @@ class EngineStats:
         ]
 
 
-#: Bounded latency-sample memory: enough for every test/benchmark scale
-#: while keeping a long-lived engine's footprint flat.
-_LATENCY_SAMPLES = 1 << 16
 
 
 class Engine:
@@ -310,6 +315,13 @@ class Engine:
         backend's own device for inline use; :meth:`start` allocates a
         dedicated planning device so threaded planning never races the
         executor's backend devices.
+    cache_capacity:
+        When a positive integer, wrap the backend in an epoch-guarded
+        :class:`~repro.serve.cache.ReadCachedBackend` holding up to this
+        many hot keys.  Cached answers are bit-identical (the cache is
+        invalidated wholesale whenever the structural epoch moves) and
+        SNAPSHOT/STRICT pinning is unaffected.  ``None`` / ``0`` runs
+        uncached.
 
     Usage::
 
@@ -325,7 +337,12 @@ class Engine:
         config: Optional[TickConfig] = None,
         consistency: Consistency = Consistency.SNAPSHOT,
         plan_device: Optional[Device] = None,
+        cache_capacity: Optional[int] = None,
     ) -> None:
+        self._read_cache: Optional[ReadCachedBackend] = None
+        if cache_capacity:
+            backend = ReadCachedBackend(backend, capacity=int(cache_capacity))
+            self._read_cache = backend
         self.backend = backend
         self.config = config or TickConfig()
         self.consistency = Consistency(consistency)
@@ -355,8 +372,11 @@ class Engine:
         self._tick_sizes: Dict[int, int] = {}
         self._tick_size_sum = 0
         self._triggers: Dict[str, int] = {}
-        self._op_latencies: Deque[float] = collections.deque(maxlen=_LATENCY_SAMPLES)
-        self._tick_latencies: Deque[float] = collections.deque(maxlen=_LATENCY_SAMPLES)
+        # Bounded log-bucketed accumulators: stats() stays O(1)-ish no
+        # matter how long the engine runs (no per-sample memory, no
+        # full-array percentile recomputation per snapshot).
+        self._op_latencies = LatencyHistogram()
+        self._tick_latencies = LatencyHistogram()
         self._sim_seconds_total = 0.0
         self._plan_seconds_total = 0.0
         self._maintenance_runs = 0
@@ -429,6 +449,11 @@ class Engine:
         """Ticks executed successfully so far."""
         with self._cond:
             return self._ticks
+
+    @property
+    def read_cache(self) -> Optional[ReadCachedBackend]:
+        """The engine's hot-key read cache, or ``None`` when uncached."""
+        return self._read_cache
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -562,7 +587,7 @@ class Engine:
                 self._record_tick(
                     size=batch.size,
                     trigger=TickTrigger.DIRECT,
-                    op_latencies=[t1 - t0] * batch.size,
+                    op_latencies=[(t1 - t0, batch.size)],
                     tick_latency=t1 - t0,
                     sim_seconds=sim_delta + plan_delta,
                     plan_seconds=plan_delta,
@@ -663,9 +688,11 @@ class Engine:
             sim_delta = simulated_seconds(self.backend) - sim_before
         t_done = time.monotonic()
 
-        op_latencies: List[float] = []
+        # One slice (or typed row view) per *submission*, not per op: a
+        # tick's rows are contiguous per entry, so resolution is a sliced
+        # scatter of the tick's result and the latency telemetry is one
+        # weighted histogram update per entry.
         for entry, offset in zip(tick.entries, tick.offsets):
-            op_latencies.extend([t_done - entry.t_submit] * entry.size)
             if error is not None:
                 entry.ticket._fail(error)
             elif isinstance(entry.ticket, BatchTicket):
@@ -678,7 +705,9 @@ class Engine:
         self._record_tick(
             size=tick.batch.size,
             trigger=tick.trigger,
-            op_latencies=op_latencies,
+            op_latencies=[
+                (t_done - entry.t_submit, entry.size) for entry in tick.entries
+            ],
             tick_latency=t_done - tick.t_formed,
             sim_seconds=sim_delta,
             plan_seconds=0.0,  # planned on the dedicated device, overlapped
@@ -762,7 +791,7 @@ class Engine:
         self,
         size: int,
         trigger: TickTrigger,
-        op_latencies: List[float],
+        op_latencies: List[Tuple[float, int]],
         tick_latency: float,
         sim_seconds: float,
         plan_seconds: float,
@@ -781,8 +810,9 @@ class Engine:
             self._tick_size_sum += size
             name = trigger.value
             self._triggers[name] = self._triggers.get(name, 0) + 1
-            self._op_latencies.extend(op_latencies)
-            self._tick_latencies.append(tick_latency)
+            for latency, weight in op_latencies:
+                self._op_latencies.record_weighted(latency, weight)
+            self._tick_latencies.record(tick_latency)
             self._sim_seconds_total += sim_seconds
             self._plan_seconds_total += plan_seconds
             if self._t_first is None:
@@ -796,18 +826,8 @@ class Engine:
         """A consistent snapshot of the serving telemetry."""
         with self._cond:
             total_ticks = self._ticks + self._failed_ticks
-            op_lat = percentile_summary(self._op_latencies)
-            op_lat["mean"] = (
-                float(np.mean(self._op_latencies))
-                if self._op_latencies
-                else float("nan")
-            )
-            tick_lat = percentile_summary(self._tick_latencies)
-            tick_lat["mean"] = (
-                float(np.mean(self._tick_latencies))
-                if self._tick_latencies
-                else float("nan")
-            )
+            op_lat = self._op_latencies.summary()
+            tick_lat = self._tick_latencies.summary()
             wall = (
                 (self._t_last_done - self._t_first)
                 if self._t_first is not None and self._t_last_done is not None
@@ -834,6 +854,11 @@ class Engine:
                 maintenance_seconds=self._maintenance_seconds,
                 maintenance_reclaimed=self._maintenance_reclaimed,
                 backend_maintenance=self.backend_maintenance_stats(),
+                read_cache=(
+                    self._read_cache.cache_stats()
+                    if self._read_cache is not None
+                    else None
+                ),
             )
 
     def _backend_filter_stats(self) -> Optional[Dict[str, float]]:

@@ -1,0 +1,139 @@
+"""Hypothesis oracle: the epoch-guarded read cache is invisible.
+
+Random insert / delete / maintenance / lookup traces drive three views of
+the same dictionary — an uncached backend, cache-wrapped twins (one with
+a tiny capacity so eviction, refill, and table rebuilds churn constantly,
+one comfortably sized), and a plain Python dict oracle — on both the
+single-device :class:`GPULSM` and a four-shard :class:`ShardedLSM`.
+After every step:
+
+* cached and uncached lookups are bit-identical (``found`` *and*
+  ``values``, including the undefined-zero miss slots);
+* both agree with the dict oracle under the paper's batch semantics;
+* every lookup is answered twice, so the second round is served from the
+  warm cache — a stale entry surviving an epoch bump would surface as a
+  divergence here;
+* after any mutation that found the cache non-empty, the next lookup
+  must record a wholesale invalidation.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lsm import GPULSM
+from repro.scale.sharded import ShardedLSM
+from repro.serve import ReadCachedBackend
+
+KEY_SPACE = 64
+BATCH = 16
+
+#: One pathologically small cache (constant eviction + table rebuilds)
+#: and one that holds the whole probe set.
+CAPACITIES = (4, 128)
+
+key_strategy = st.integers(min_value=0, max_value=KEY_SPACE - 1)
+pair_strategy = st.tuples(key_strategy, st.integers(min_value=0, max_value=500))
+#: Maintenance action after a step: none, full cleanup, or an incremental
+#: compaction of the k smallest occupied levels.
+action_strategy = st.one_of(
+    st.none(),
+    st.just("cleanup"),
+    st.integers(min_value=1, max_value=3),
+)
+step_strategy = st.tuples(
+    st.lists(pair_strategy, max_size=5),  # insertions
+    st.lists(key_strategy, max_size=4),   # deletions (tombstones)
+    action_strategy,
+    st.lists(key_strategy, min_size=1, max_size=8),  # extra probe keys
+)
+trace_strategy = st.lists(step_strategy, min_size=1, max_size=5)
+
+
+def _fresh(kind):
+    if kind == "gpulsm":
+        return GPULSM(batch_size=BATCH)
+    return ShardedLSM(num_shards=4, batch_size=BATCH, key_domain=KEY_SPACE)
+
+
+def _oracle_apply(oracle, inserts, deletes):
+    """The paper's batch semantics on a python dict: a delete anywhere in
+    the batch dominates its key; among insertions the first wins."""
+    deleted = set(deletes)
+    first_insert = {}
+    for k, v in inserts:
+        first_insert.setdefault(k, v)
+    for k in deleted:
+        oracle.pop(k, None)
+    for k, v in first_insert.items():
+        if k not in deleted:
+            oracle[k] = v
+
+
+def run_trace(kind, trace):
+    uncached = _fresh(kind)
+    cached = {
+        cap: ReadCachedBackend(_fresh(kind), capacity=cap)
+        for cap in CAPACITIES
+    }
+    oracle = {}
+    probes = np.arange(KEY_SPACE + 8, dtype=np.uint32)  # misses included
+
+    for inserts, deletes, action, extra in trace:
+        mutated = bool(inserts or deletes)
+        pre_entries = {cap: len(c) for cap, c in cached.items()}
+        pre_invalidations = {
+            cap: c.cache_stats()["invalidations"] for cap, c in cached.items()
+        }
+
+        ins_keys = np.array([k for k, _ in inserts], dtype=np.uint32)
+        ins_vals = np.array([v for _, v in inserts], dtype=np.uint32)
+        del_keys = np.array(deletes, dtype=np.uint32)
+        for backend in (uncached, *cached.values()):
+            if mutated:
+                backend.update(
+                    insert_keys=ins_keys if ins_keys.size else None,
+                    insert_values=ins_vals if ins_keys.size else None,
+                    delete_keys=del_keys if del_keys.size else None,
+                )
+            if action == "cleanup":
+                backend.cleanup()
+            elif action is not None:
+                backend.compact_levels(action)
+        _oracle_apply(oracle, inserts, deletes)
+
+        queries = np.concatenate([probes, np.array(extra, dtype=np.uint32)])
+        base = uncached.lookup(queries)
+        expected_found = [k in oracle for k in queries.tolist()]
+        assert base.found.tolist() == expected_found
+        for i, k in enumerate(queries.tolist()):
+            if k in oracle:
+                assert int(base.values[i]) == oracle[k], k
+
+        for cap, wrapper in cached.items():
+            # Round 1 fills the cache; round 2 is served from it.  A
+            # stale entry surviving the epoch bump would diverge here.
+            for round_no in (1, 2):
+                res = wrapper.lookup(queries)
+                np.testing.assert_array_equal(
+                    res.found, base.found, err_msg=f"cap={cap} round={round_no}"
+                )
+                np.testing.assert_array_equal(
+                    res.values, base.values, err_msg=f"cap={cap} round={round_no}"
+                )
+            if mutated and pre_entries[cap]:
+                assert (
+                    wrapper.cache_stats()["invalidations"]
+                    > pre_invalidations[cap]
+                ), f"cap={cap}: mutation did not invalidate a warm cache"
+
+
+class TestReadCacheOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(trace=trace_strategy)
+    def test_gpulsm_cache_is_invisible(self, trace):
+        run_trace("gpulsm", trace)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=trace_strategy)
+    def test_sharded_cache_is_invisible(self, trace):
+        run_trace("sharded4", trace)

@@ -137,7 +137,12 @@ class TestSupportsCache:
         assert not supports(first, "count")
         assert not supports(first, "count")
 
-    def test_declared_path_is_cached_too(self):
+    def test_declared_path_is_answered_fresh_never_memoised(self):
+        """The declared path must NOT be keyed on the wrapper's type: a
+        proxy class (e.g. ``ReadCachedBackend``) forwards
+        ``supported_operations`` from whatever backend it wraps, so two
+        instances of one class can legitimately answer differently."""
+
         class Declared:
             calls = 0
 
@@ -151,7 +156,24 @@ class TestSupportsCache:
         assert supports(backend, "insert")
         assert supports(backend, "insert")
         assert not supports(backend, "delete")
-        assert Declared.calls == 2  # one evaluation per (class, operation)
+        # Every call re-reads the declaration (a cheap set build) instead
+        # of poisoning a type-keyed cache entry.
+        assert Declared.calls == 3
+
+    def test_declared_path_distinguishes_instances_of_one_class(self):
+        class Forwarding:
+            def __init__(self, ops):
+                self._ops = frozenset(ops)
+
+            def supported_operations(self):
+                return self._ops
+
+        clear_supports_cache()
+        rich = Forwarding({"insert", "lookup", "range_query"})
+        poor = Forwarding({"insert", "lookup"})
+        assert supports(rich, "range_query")
+        assert not supports(poor, "range_query")
+        assert supports(rich, "range_query")
 
 
 class TestCuckooIncrementalOps:
