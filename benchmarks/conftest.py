@@ -51,6 +51,7 @@ SCALES = {
         "query_accel": dict(total_elements=1 << 14, queries_per_cell=1 << 11),
         "maintenance": dict(batch_size=1 << 9, num_steps=40,
                             queries_per_step=1 << 11),
+        "durability": dict(num_ops=1 << 14, tick_size=1 << 10, fsync_batch=8),
     },
     "paper": {
         "table1": dict(small_elements=1 << 12, large_elements=1 << 16, batch_size=1 << 9),
@@ -75,6 +76,7 @@ SCALES = {
         "query_accel": dict(total_elements=1 << 17, queries_per_cell=1 << 13),
         "maintenance": dict(batch_size=1 << 11, num_steps=64,
                             queries_per_step=1 << 13),
+        "durability": dict(num_ops=1 << 16, tick_size=1 << 12, fsync_batch=8),
     },
 }
 

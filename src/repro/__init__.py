@@ -34,6 +34,13 @@ Package layout
     scheduler (:class:`repro.serve.TickConfig`), and the pipelined
     plan/execute path with per-tick telemetry.  :class:`KVStore` is a
     thin single-client view over it.
+``repro.durability``
+    The durability subsystem: a write-ahead log of committed ticks with
+    group-commit fsync batching, atomic level snapshots on a pluggable
+    policy, crash recovery (latest valid snapshot + WAL tail replay), and
+    the fault-injection harness the kill-and-restart tests drive.  Wired
+    into :class:`Engine` / :class:`KVStore` via
+    ``durability=DurabilityConfig(...)``; off by default.
 ``repro.bench``
     The experiment harness that regenerates every table and figure of the
     paper's Section V.
@@ -85,6 +92,18 @@ from repro.api import (
     SnapshotViolationError,
     Ticket,
 )
+from repro.durability import (
+    DurabilityConfig,
+    EveryNTicks,
+    FaultInjector,
+    InjectedCrash,
+    NoSnapshots,
+    RecoveryReport,
+    SnapshotPolicy,
+    WalBytesPolicy,
+    WriteAheadLog,
+    recover,
+)
 from repro.serve import (
     BatchTicket,
     Engine,
@@ -98,7 +117,7 @@ from repro.serve import (
 from repro.gpu.device import Device, get_default_device, set_default_device
 from repro.gpu.spec import GPUSpec, K40C_SPEC
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Curated public surface: the mixed-operation API first (the primary
 #: entry point), then the dictionary structures, the protocol, and the
@@ -145,6 +164,17 @@ __all__ = [
     "StaleFractionPolicy",
     "LevelCountPolicy",
     "AnyOf",
+    # Durability subsystem (WAL, snapshots, recovery, fault injection)
+    "DurabilityConfig",
+    "SnapshotPolicy",
+    "NoSnapshots",
+    "EveryNTicks",
+    "WalBytesPolicy",
+    "WriteAheadLog",
+    "recover",
+    "RecoveryReport",
+    "FaultInjector",
+    "InjectedCrash",
     # Protocol and errors
     "DictionaryProtocol",
     "UnsupportedOperationError",

@@ -60,6 +60,19 @@ class KVStore:
         bit-identical.  ``None`` / ``0`` (the default) runs uncached.
         Only ticks through :meth:`apply` / sessions are cached — the
         legacy per-method surface forwards to the raw backend.
+    durability:
+        A :class:`~repro.durability.DurabilityConfig` to make the store
+        crash-safe: prior state in its directory is recovered at
+        construction, each committed tick is appended to a write-ahead
+        log before :meth:`apply` returns, and checkpoints run per the
+        configured snapshot policy.  With durability on, use the store as
+        a context manager (or call :meth:`close`) so the final group
+        commit lands and the WAL handle is released.  ``None`` (the
+        default) runs without durability; answers and stats are
+        bit-identical either way.  Note the per-method legacy surface
+        (``insert`` / ``delete`` below) bypasses the tick path and is
+        **not** logged — route durable traffic through :meth:`apply` /
+        sessions.
 
     Examples
     --------
@@ -86,6 +99,7 @@ class KVStore:
         device: Optional[Device] = None,
         key_only: bool = False,
         cache_capacity: Optional[int] = None,
+        durability=None,
     ) -> None:
         if backend is None:
             backend = GPULSM(
@@ -98,7 +112,10 @@ class KVStore:
         #: share one execution surface.  The engine is never started —
         #: the facade stays synchronous and thread-free.
         self.engine = Engine(
-            backend, consistency=self.consistency, cache_capacity=cache_capacity
+            backend,
+            consistency=self.consistency,
+            cache_capacity=cache_capacity,
+            durability=durability,
         )
         #: The engine's view of the backend — the read-cache wrapper when
         #: ``cache_capacity`` is set — so the legacy per-method surface
@@ -128,6 +145,33 @@ class KVStore:
     def session(self) -> "Session":
         """A new ticketing session over this store (one tick per commit)."""
         return Session(self)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the underlying engine (idempotent).
+
+        Delegates to :meth:`repro.serve.engine.Engine.close`: anything the
+        engine has admitted is drained first, and with durability on the
+        WAL receives its final group commit and its file handle (plus any
+        snapshot temp state) is released.  The facade itself is
+        synchronous — every :meth:`apply` has fully committed by the time
+        it returned — so for a durability-off store this is a no-op kept
+        for symmetry.
+        """
+        self.engine.close()
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def durability(self):
+        """The engine's durability manager (``None`` when not configured)."""
+        return self.engine.durability
 
     @property
     def ticks(self) -> int:

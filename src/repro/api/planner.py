@@ -54,7 +54,11 @@ from repro.api.ops import (
 from repro.gpu.device import Device, get_default_device
 from repro.primitives.multisplit import _record_multisplit_traffic, multisplit_keys
 from repro.primitives.scan import exclusive_scan
-from repro.scale.protocol import UnsupportedOperationError, supports
+from repro.scale.protocol import (
+    UnsupportedOperationError,
+    structural_epoch,
+    supports,
+)
 
 
 class Consistency(str, Enum):
@@ -241,14 +245,12 @@ def plan_batch(
 # ---------------------------------------------------------------------- #
 def _read_epoch(backend) -> Optional[Tuple]:
     """The backend's structural epoch — the per-shard tuple when sharded,
-    the scalar counter otherwise, ``None`` for epoch-less backends."""
-    shard_epochs = getattr(backend, "shard_epochs", None)
-    if shard_epochs is not None:
-        return ("shards", tuple(shard_epochs))
-    epoch = getattr(backend, "epoch", None)
-    if epoch is None:
-        return None
-    return ("epoch", int(epoch))
+    the scalar counter otherwise, ``None`` for epoch-less backends.
+
+    Delegates to :func:`repro.scale.protocol.structural_epoch`, the shared
+    contract the durability subsystem's snapshot manifests also record as
+    their epoch mark."""
+    return structural_epoch(backend)
 
 
 def _check_pin(backend, pinned: Optional[Tuple]) -> None:

@@ -471,6 +471,131 @@ class GPULSM:
         )
 
     # ------------------------------------------------------------------ #
+    # Snapshot / restore (durability subsystem)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """The structure's resident state as plain arrays and scalars.
+
+        Everything :meth:`restore_state` needs to rebuild a bit-identical
+        structure: the occupied levels' **encoded** runs verbatim
+        (tombstones, stale duplicates and cleanup placebos included — the
+        physical state, not a logical export), the shape-defining config
+        fields, and the bookkeeping counters.  Queries against a restored
+        structure are bit-identical to the original because the resident
+        words are.  The level runs are immutable
+        (:class:`~repro.core.run.SortedRun` columns are never written in
+        place), so the returned dict can be serialized lazily without
+        racing a later cascade.
+        """
+        levels = []
+        for lvl in self.levels:
+            if not lvl.is_full:
+                continue
+            levels.append(
+                {"index": lvl.index, "keys": lvl.run.keys, "values": lvl.run.values}
+            )
+        return {
+            "batch_size": self.batch_size,
+            "key_only": self.key_only,
+            "key_dtype": self.config.key_dtype.str,
+            "value_dtype": self.config.value_dtype.str,
+            "num_batches": self.num_batches,
+            "epoch": self.epoch,
+            "total_insertions": self.total_insertions,
+            "total_deletions": self.total_deletions,
+            "total_cleanups": self.total_cleanups,
+            "total_compactions": self.total_compactions,
+            "live_keys_upper_bound": self._live_keys_upper_bound,
+            "trailing_placebos": self._trailing_placebos,
+            "placebo_level": self._placebo_level,
+            "levels": levels,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` dict into this (empty) structure.
+
+        The restore path is deliberately **not** :meth:`bulk_build`: a
+        snapshot holds encoded level runs — tombstones and placebos
+        included — while ``bulk_build`` takes decoded all-regular keys, so
+        the levels are filled verbatim instead and the query filters are
+        rebuilt deterministically from the restored keys (filters are a
+        function of the resident run, not snapshotted state).  Requires an
+        empty structure whose config matches the snapshot's shape-defining
+        fields; bumps :attr:`epoch` once — a restore is a structural
+        mutation like any cascade, and readers holding pre-restore pins
+        must notice.
+        """
+        if self.num_batches != 0 or any(lvl.is_full for lvl in self.levels):
+            raise RuntimeError("restore_state requires an empty GPU LSM")
+        mismatches = [
+            name
+            for name, mine, theirs in (
+                ("batch_size", self.batch_size, state["batch_size"]),
+                ("key_only", self.key_only, state["key_only"]),
+                ("key_dtype", self.config.key_dtype.str, state["key_dtype"]),
+                ("value_dtype", self.config.value_dtype.str, state["value_dtype"]),
+            )
+            if mine != theirs
+        ]
+        if mismatches:
+            raise ValueError(
+                "snapshot does not fit this structure: mismatched "
+                + ", ".join(mismatches)
+            )
+        expected_batches = sum(
+            1 << entry["index"] for entry in state["levels"]
+        )
+        if expected_batches != state["num_batches"]:
+            raise ValueError(
+                f"snapshot is inconsistent: levels encode {expected_batches} "
+                f"batches but num_batches is {state['num_batches']}"
+            )
+
+        total = expected_batches * self.batch_size
+        with self.device.timed_region("lsm.restore", items=total):
+            for entry in state["levels"]:
+                level = self._level(entry["index"])
+                keys = np.ascontiguousarray(
+                    entry["keys"], dtype=self.config.key_dtype
+                )
+                values = entry["values"]
+                if values is not None:
+                    values = np.ascontiguousarray(
+                        values, dtype=self.config.value_dtype
+                    )
+                level.fill(SortedRun(keys, values))
+                trailing = (
+                    state["trailing_placebos"]
+                    if entry["index"] == state["placebo_level"]
+                    else 0
+                )
+                self._attach_filters(level, trailing_placebos=trailing)
+            self.num_batches = state["num_batches"]
+            self.total_insertions = state["total_insertions"]
+            self.total_deletions = state["total_deletions"]
+            self.total_cleanups = state["total_cleanups"]
+            self.total_compactions = state["total_compactions"]
+            self._live_keys_upper_bound = state["live_keys_upper_bound"]
+            self._trailing_placebos = state["trailing_placebos"]
+            self._placebo_level = state["placebo_level"]
+            self.device.record_kernel(
+                "lsm.restore_levels",
+                coalesced_read_bytes=sum(
+                    lvl.run.nbytes for lvl in self.levels if lvl.is_full
+                ),
+                coalesced_write_bytes=sum(
+                    lvl.run.nbytes for lvl in self.levels if lvl.is_full
+                ),
+                work_items=total,
+            )
+            self.epoch += 1
+
+        if self.config.validate_invariants:
+            from repro.core.invariants import check_lsm_invariants
+
+            check_lsm_invariants(self)
+
+    # ------------------------------------------------------------------ #
     # Query acceleration (fence / Bloom filters)
     # ------------------------------------------------------------------ #
     def _attach_filters(self, level: Level, trailing_placebos: int = 0) -> None:

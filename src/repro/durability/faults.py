@@ -1,0 +1,87 @@
+"""Fault-injection harness for the durability subsystem.
+
+The kill-and-restart oracle tests need to die at *specific* points of the
+commit protocol — halfway through a WAL append, after a record is written
+but before its fsync, after a snapshot's temp files exist but before the
+manifest rename commits them — and then assert that recovery restores
+exactly the acknowledged ticks.  A real ``kill -9`` cannot target those
+points deterministically, so the WAL and snapshot writers call
+:meth:`FaultInjector.check` at each named point and an armed injector
+raises :class:`InjectedCrash` there instead, leaving the on-disk state
+exactly as a process death at that instant would (for ``wal.mid_append``
+the writer first emits a deliberately truncated record — the torn tail a
+real crash leaves).
+
+The injector is plumbed in through
+:class:`~repro.durability.manager.DurabilityConfig`; production runs pass
+``None`` and every ``check`` compiles down to nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated process death raised at an armed fault point.
+
+    Deliberately an ordinary :class:`RuntimeError`: the serving stack
+    propagates it to the caller like any other tick failure, which is
+    exactly what an aborted acknowledgement looks like.
+    """
+
+
+#: The named crash points the durability writers expose, in commit-protocol
+#: order.  ``wal.mid_append`` crashes with a torn (half-written) final
+#: record already on disk; ``wal.pre_fsync`` crashes after appends are
+#: buffered but before the group-commit fsync; the two snapshot points
+#: crash with a partial temp file / with complete temp files whose manifest
+#: rename never committed.
+FAULT_POINTS = (
+    "wal.mid_append",
+    "wal.pre_fsync",
+    "snapshot.mid_write",
+    "snapshot.pre_rename",
+)
+
+
+class FaultInjector:
+    """Crash on the N-th hit of a named fault point.
+
+    Parameters
+    ----------
+    crash_at:
+        Mapping of fault-point name to the 1-based hit count that crashes;
+        e.g. ``{"wal.mid_append": 3}`` dies halfway through the third WAL
+        append.  Unknown names are rejected loudly — a typo here would
+        silently test nothing.
+    """
+
+    def __init__(self, crash_at: Mapping[str, int]) -> None:
+        for point, hit in crash_at.items():
+            if point not in FAULT_POINTS:
+                raise ValueError(
+                    f"unknown fault point {point!r}; choose from {FAULT_POINTS}"
+                )
+            if int(hit) < 1:
+                raise ValueError(f"crash hit for {point!r} must be >= 1")
+        self._crash_at = {point: int(hit) for point, hit in crash_at.items()}
+        #: Lifetime hit counts per point (armed or not), for test asserts.
+        self.hits: Dict[str, int] = {point: 0 for point in FAULT_POINTS}
+        #: Set once a crash fired; a dead process cannot crash twice.
+        self.crashed: Optional[str] = None
+
+    def check(self, point: str) -> None:
+        """Record one hit of ``point``; raise if this hit is the armed one."""
+        self.hits[point] = self.hits.get(point, 0) + 1
+        if self.crashed is None and self._crash_at.get(point) == self.hits[point]:
+            self.crashed = point
+            raise InjectedCrash(
+                f"injected crash at {point} (hit {self.hits[point]})"
+            )
+
+
+def check(faults: Optional[FaultInjector], point: str) -> None:
+    """Module-level convenience: a no-op when no injector is attached."""
+    if faults is not None:
+        faults.check(point)

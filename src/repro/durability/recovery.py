@@ -1,0 +1,168 @@
+"""Crash recovery: latest valid snapshot plus WAL tail replay.
+
+The recovery sequence over a durability directory:
+
+1. **Clean** stray ``*.tmp`` entries (a crash mid-snapshot leaves a
+   partial temp dir or manifest; nothing uncommitted is ever trusted).
+2. **Restore** the latest valid manifest's snapshot — every structure
+   file CRC-validated and loaded verbatim into the (empty) backend via
+   :meth:`~repro.core.lsm.GPULSM.restore_state` — after checking the
+   backend's shape against the manifest (shard count, batch sizes,
+   key-only mode).  No valid manifest means recovery starts from an empty
+   structure and replays the whole log.
+3. **Replay** the WAL tail from the manifest's recorded offset through
+   the existing planner path (:func:`repro.api.planner.execute`), each
+   record re-folded under the consistency mode its flags byte recorded.
+   Records hold update rows only, so replay rebuilds exactly the
+   committed cascades; a **torn final record** (a crash mid-append) ends
+   the replay at the last fully committed tick instead of failing.
+
+The returned :class:`RecoveryReport` carries the total committed tick
+count (the engine continues numbering from it) and the WAL byte offset of
+the last valid record (the reopened log truncates to it before
+appending).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.api.planner import Consistency, execute
+from repro.durability.snapshot import (
+    SnapshotError,
+    clean_stale_temps,
+    load_latest_manifest,
+    load_structure,
+)
+from repro.durability.wal import WALError, read_records
+
+#: The single log file of a durability directory.
+WAL_FILENAME = "wal.log"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :func:`recover` call found and rebuilt.
+
+    ``ticks`` is the total number of committed ticks the recovered store
+    has seen (snapshot-covered plus replayed) — the engine resumes tick
+    numbering from it; ``wal_valid_offset`` is where the reopened WAL
+    must truncate to before appending.
+    """
+
+    snapshot_seq: Optional[int]
+    snapshot_ticks: int
+    replayed_ticks: int
+    replayed_ops: int
+    ticks: int
+    wal_valid_offset: int
+    wal_torn: bool
+    removed_temp_paths: Tuple[str, ...]
+
+    @property
+    def restored_from_snapshot(self) -> bool:
+        return self.snapshot_seq is not None
+
+
+def _validate_sharded_shape(backend, frontend: dict) -> None:
+    mismatches = [
+        name
+        for name, mine in (
+            ("num_shards", backend.num_shards),
+            ("batch_size", backend.batch_size),
+            ("shard_batch_size", backend.shard_batch_size),
+            ("key_only", backend.key_only),
+            ("key_domain", backend.key_domain),
+        )
+        if mine != frontend[name]
+    ]
+    if mismatches:
+        raise SnapshotError(
+            "snapshot does not fit this sharded backend: mismatched "
+            + ", ".join(mismatches)
+        )
+
+
+def _restore_snapshot(directory: str, backend, manifest: dict) -> None:
+    kind = manifest["kind"]
+    shards = getattr(backend, "shards", None)
+    if kind == "sharded":
+        if shards is None:
+            raise SnapshotError(
+                "the snapshot holds a sharded store but the backend is "
+                f"{type(backend).__name__}"
+            )
+        _validate_sharded_shape(backend, manifest["frontend"])
+        if len(manifest["structures"]) != len(shards):
+            raise SnapshotError(
+                f"the snapshot holds {len(manifest['structures'])} shards, "
+                f"the backend {len(shards)}"
+            )
+        for shard, entry in zip(shards, manifest["structures"]):
+            shard.restore_state(load_structure(directory, entry))
+        return
+    if kind == "gpulsm":
+        if shards is not None:
+            raise SnapshotError(
+                "the snapshot holds a single structure but the backend is "
+                "sharded"
+            )
+        if len(manifest["structures"]) != 1:
+            raise SnapshotError(
+                "a gpulsm snapshot must hold exactly one structure"
+            )
+        backend.restore_state(load_structure(directory, manifest["structures"][0]))
+        return
+    raise SnapshotError(f"unknown snapshot kind {kind!r}")
+
+
+def recover(directory: str, backend) -> RecoveryReport:
+    """Rebuild ``backend`` from a durability directory's snapshot + WAL.
+
+    ``backend`` must be a freshly built (empty) store of the same shape
+    the directory was written with.  Safe on an empty or missing
+    directory — that is simply a store with no history.
+    """
+    removed = clean_stale_temps(directory)
+
+    manifest = load_latest_manifest(directory)
+    snapshot_seq = None
+    snapshot_ticks = 0
+    wal_start = 0
+    if manifest is not None:
+        _restore_snapshot(directory, backend, manifest)
+        snapshot_seq = manifest["seq"]
+        snapshot_ticks = int(manifest["tick_count"])
+        wal_start = int(manifest["wal_offset"])
+
+    wal_path = os.path.join(directory, WAL_FILENAME)
+    scan = read_records(wal_path, start_offset=wal_start)
+    replayed_ops = 0
+    for i, (tick_id, strict, batch) in enumerate(scan.records):
+        expected = snapshot_ticks + i
+        if tick_id != expected:
+            raise WALError(
+                f"WAL record {i} after the snapshot carries tick id "
+                f"{tick_id}, expected {expected}; the log does not belong "
+                "to this snapshot lineage"
+            )
+        if batch.size:
+            execute(
+                batch,
+                backend,
+                consistency=Consistency.STRICT if strict else Consistency.SNAPSHOT,
+            )
+            replayed_ops += batch.size
+
+    return RecoveryReport(
+        snapshot_seq=snapshot_seq,
+        snapshot_ticks=snapshot_ticks,
+        replayed_ticks=len(scan.records),
+        replayed_ops=replayed_ops,
+        ticks=snapshot_ticks + len(scan.records),
+        wal_valid_offset=scan.valid_end_offset,
+        wal_torn=scan.torn,
+        removed_temp_paths=tuple(removed),
+    )

@@ -66,6 +66,25 @@ class DictionaryProtocol(Protocol):
         ...
 
 
+def structural_epoch(dictionary) -> Optional[Tuple]:
+    """The dictionary's structural epoch as one comparable token.
+
+    ``("shards", per-shard epoch tuple)`` for a sharded front-end,
+    ``("epoch", counter)`` for a single structure, ``None`` for backends
+    without an epoch.  Two equal tokens mean no level set changed between
+    the two reads — the contract both the planner's snapshot pinning and
+    the durability subsystem's snapshot manifests are built on (a
+    checkpoint records this token as its epoch mark).
+    """
+    shard_epochs = getattr(dictionary, "shard_epochs", None)
+    if shard_epochs is not None:
+        return ("shards", tuple(int(e) for e in shard_epochs))
+    epoch = getattr(dictionary, "epoch", None)
+    if epoch is None:
+        return None
+    return ("epoch", int(epoch))
+
+
 def simulated_seconds(dictionary) -> float:
     """The dictionary's simulated clock, in wall-clock terms.
 

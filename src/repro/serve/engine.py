@@ -68,6 +68,7 @@ from repro.api.planner import (
     execute_plan,
     plan_batch,
 )
+from repro.durability.manager import DurabilityConfig, DurabilityManager
 from repro.gpu.cost_model import CostModel
 from repro.gpu.device import Device
 from repro.gpu.profiler import LatencyHistogram
@@ -248,6 +249,12 @@ class EngineStats:
     #: hits, misses, fills, evictions, wholesale epoch invalidations), or
     #: ``None`` when the engine runs uncached.
     read_cache: Optional[Dict[str, int]] = None
+    #: Durability counters (``DurabilityManager.stats``: wal_appends,
+    #: wal_fsyncs, wal_bytes, snapshot_runs, recovery_replayed_ticks,
+    #: ...), or ``None`` when the engine runs without durability — the
+    #: default, keeping the stats schema bit-identical for existing
+    #: consumers.
+    durability: Optional[Dict[str, int]] = None
 
     @property
     def ops_per_second(self) -> float:
@@ -322,6 +329,18 @@ class Engine:
         invalidated wholesale whenever the structural epoch moves) and
         SNAPSHOT/STRICT pinning is unaffected.  ``None`` / ``0`` runs
         uncached.
+    durability:
+        A :class:`~repro.durability.DurabilityConfig` to make the store
+        crash-safe: prior state in the configured directory is recovered
+        at construction (snapshot + WAL replay into the backend, which
+        must then be empty), every committed tick's update rows are
+        appended to the WAL before its results are returned, and
+        checkpoints run between ticks per the config's snapshot policy.
+        ``None`` (the default) runs without durability — every answer,
+        stats schema and benchmark number is bit-identical to before the
+        subsystem existed.  Durability attaches to the **raw** backend,
+        beneath any read cache, so recovery and snapshots see the real
+        structure.
 
     Usage::
 
@@ -338,7 +357,20 @@ class Engine:
         consistency: Consistency = Consistency.SNAPSHOT,
         plan_device: Optional[Device] = None,
         cache_capacity: Optional[int] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
+        self._durability: Optional[DurabilityManager] = None
+        if durability is not None:
+            manager = (
+                durability
+                if isinstance(durability, DurabilityManager)
+                else DurabilityManager(durability)
+            )
+            # Attach against the raw backend, before any cache wrap:
+            # recovery restores levels and snapshots serialize them, and
+            # both must see the real structure, not a read-through proxy.
+            manager.attach(backend)
+            self._durability = manager
         self._read_cache: Optional[ReadCachedBackend] = None
         if cache_capacity:
             backend = ReadCachedBackend(backend, capacity=int(cache_capacity))
@@ -413,20 +445,33 @@ class Engine:
         return self
 
     def close(self) -> None:
-        """Drain everything queued as final flush ticks, then stop."""
-        with self._cond:
-            if self._closed:
-                return
-            self._closed = True
-            if not self._started:
-                return
-            self._closing = True
-            self._cond.notify_all()
-        assert self._scheduler_thread and self._executor_thread
-        self._scheduler_thread.join()
-        self._executor_thread.join()
-        with self._cond:
-            self._started = False
+        """Drain everything queued as final flush ticks, then stop.
+
+        Every *admitted* submission is executed (and WAL-logged, with
+        durability on) before the threads stop: the scheduler cuts the
+        remaining queue into flush ticks and the executor runs them all,
+        so no acknowledged-for-admission operation is ever lost without a
+        tick record.  The durability manager is closed last — after the
+        drain — issuing the final group commit and releasing the WAL file
+        handle.  Idempotent.
+        """
+        try:
+            with self._cond:
+                if self._closed:
+                    return
+                self._closed = True
+                if not self._started:
+                    return
+                self._closing = True
+                self._cond.notify_all()
+            assert self._scheduler_thread and self._executor_thread
+            self._scheduler_thread.join()
+            self._executor_thread.join()
+            with self._cond:
+                self._started = False
+        finally:
+            if self._durability is not None:
+                self._durability.close()
 
     def __enter__(self) -> "Engine":
         return self.start()
@@ -578,6 +623,11 @@ class Engine:
             sim_before = simulated_seconds(self.backend)
             try:
                 result = execute_plan(batch, plan, self.backend)
+                if self._durability is not None:
+                    # The write-ahead record is the acknowledgement: a
+                    # tick whose append did not return is not committed
+                    # and its results are never handed to the caller.
+                    self._durability.log_tick(batch, mode)
             except Exception:
                 failed = True
                 raise
@@ -596,6 +646,7 @@ class Engine:
                 )
             if not failed:
                 self._run_due_maintenance_locked()
+                self._maybe_snapshot_locked()
         return result
 
     # ------------------------------------------------------------------ #
@@ -683,6 +734,11 @@ class Engine:
             sim_before = simulated_seconds(self.backend)
             try:
                 result = execute_plan(tick.batch, plan, self.backend)
+                if self._durability is not None:
+                    # Log before any ticket resolves: the append is the
+                    # acknowledgement, so a tick that fails to reach the
+                    # WAL fails its clients instead of acking silently.
+                    self._durability.log_tick(tick.batch, plan.consistency)
             except Exception as exc:  # resolve tickets with the failure
                 error = exc
             sim_delta = simulated_seconds(self.backend) - sim_before
@@ -727,6 +783,7 @@ class Engine:
             # the per-op latency percentiles.
             with self._exec_lock:
                 self._run_due_maintenance_locked()
+                self._maybe_snapshot_locked()
 
     # ------------------------------------------------------------------ #
     # Engine-scheduled maintenance
@@ -773,6 +830,20 @@ class Engine:
             self._maintenance_seconds += sim_delta
             self._maintenance_reclaimed += reclaimed
         return stats
+
+    def _maybe_snapshot_locked(self) -> None:
+        """Poll the durability snapshot policy (holding the executor lock,
+        after the maintenance poll — so a checkpoint captures the state a
+        just-triggered cleanup/compaction produced, not the state it is
+        about to replace)."""
+        if self._durability is not None:
+            self._durability.maybe_snapshot()
+
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        """The engine's durability manager, or ``None`` when running
+        without durability."""
+        return self._durability
 
     def backend_maintenance_stats(self) -> Optional[Dict[str, object]]:
         """The backend's lifetime maintenance counters (``None`` when the
@@ -857,6 +928,11 @@ class Engine:
                 read_cache=(
                     self._read_cache.cache_stats()
                     if self._read_cache is not None
+                    else None
+                ),
+                durability=(
+                    self._durability.stats()
+                    if self._durability is not None
                     else None
                 ),
             )

@@ -1,0 +1,224 @@
+"""On-disk WAL record format: round trips, corruption rejection, golden bytes.
+
+The write-ahead log's record layout is a durability contract — bytes
+written by one version must be readable by the next.  These tests pin it
+three ways: every opcode survives an encode/decode round trip, any
+corrupted byte is rejected (CRC), and a hard-coded golden frame asserts
+the exact bytes (so an accidental layout change fails loudly; a
+deliberate one must bump ``WAL_FORMAT_VERSION`` and re-record the
+fixture).
+"""
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.api.ops import OpBatch, OpCode
+from repro.durability.wal import (
+    FLAG_STRICT,
+    RECORD_MAGIC,
+    WAL_FORMAT_VERSION,
+    WALCorruptionError,
+    WALError,
+    decode_payload,
+    encode_record,
+    read_records,
+)
+
+
+def _empty_batch():
+    return OpBatch(
+        np.array([], dtype=np.uint8),
+        np.array([], dtype=np.uint64),
+        np.array([], dtype=np.uint64),
+        np.array([], dtype=np.uint64),
+    )
+
+
+def _all_opcode_batch():
+    """One row per opcode (INSERT, DELETE, LOOKUP, COUNT, RANGE)."""
+    return OpBatch(
+        np.array([0, 1, 2, 3, 4], dtype=np.uint8),
+        np.array([1, 2, 3, 40, 50], dtype=np.uint64),
+        np.array([10, 0, 0, 0, 0], dtype=np.uint64),
+        np.array([0, 0, 0, 49, 59], dtype=np.uint64),
+    )
+
+
+def _strip_frame(record):
+    """Payload bytes of one encoded record (drop length prefix and CRC)."""
+    (payload_len,) = struct.unpack_from("<I", record)
+    return record[4 : 4 + payload_len]
+
+
+# The exact frame for tick_id=3, strict=True, one row per opcode (the
+# batch from _all_opcode_batch).  Recorded against WAL_FORMAT_VERSION 1.
+GOLDEN_RECORD_HEX = (
+    "910000005257414c01010000030000000000000005000000"
+    "0001020304"
+    "01000000000000000200000000000000030000000000000028000000000000003200000000000000"
+    "0a000000000000000000000000000000000000000000000000000000000000000000000000000000"
+    "00000000000000000000000000000000000000000000000031000000000000003b00000000000000"
+    "1217fc2f"
+)
+
+# The 28-byte frame of a pure-query (empty) tick: tick_id=0, snapshot.
+GOLDEN_EMPTY_RECORD_HEX = "140000005257414c01000000000000000000000000000000eee0b837"
+
+
+class TestRoundTrip:
+    def test_every_opcode_round_trips(self, tmp_path):
+        batch = _all_opcode_batch()
+        path = os.path.join(tmp_path, "wal.log")
+        with open(path, "wb") as fh:
+            fh.write(encode_record(7, batch, strict=False))
+            fh.write(encode_record(8, batch, strict=True))
+        scan = read_records(path)
+        assert not scan.torn
+        assert scan.valid_end_offset == os.path.getsize(path)
+        assert [(t, s) for t, s, _ in scan.records] == [(7, False), (8, True)]
+        for _, _, got in scan.records:
+            np.testing.assert_array_equal(got.opcodes, batch.opcodes)
+            np.testing.assert_array_equal(got.keys, batch.keys)
+            np.testing.assert_array_equal(got.values, batch.values)
+            np.testing.assert_array_equal(got.range_ends, batch.range_ends)
+            assert got.opcodes.dtype == np.uint8
+            assert got.keys.dtype == np.uint64
+        # The round-tripped opcodes cover the full instruction set.
+        assert sorted(scan.records[0][2].opcodes.tolist()) == sorted(
+            int(code) for code in OpCode
+        )
+
+    def test_empty_tick_record(self, tmp_path):
+        record = encode_record(0, _empty_batch(), strict=False)
+        assert len(record) == 28  # 4 (len) + 20 (header) + 0 rows + 4 (crc)
+        path = os.path.join(tmp_path, "wal.log")
+        with open(path, "wb") as fh:
+            fh.write(record)
+        scan = read_records(path)
+        assert not scan.torn
+        (tick_id, strict, batch) = scan.records[0]
+        assert (tick_id, strict, batch.size) == (0, False, 0)
+
+    def test_decode_payload_direct(self):
+        batch = _all_opcode_batch()
+        payload = _strip_frame(encode_record(42, batch, strict=True))
+        tick_id, strict, got = decode_payload(payload)
+        assert (tick_id, strict) == (42, True)
+        np.testing.assert_array_equal(got.keys, batch.keys)
+
+    def test_strict_flag_rides_in_flags_byte(self):
+        snap = _strip_frame(encode_record(0, _empty_batch(), strict=False))
+        strict = _strip_frame(encode_record(0, _empty_batch(), strict=True))
+        # flags is byte 5 of the payload header (after magic + version).
+        assert snap[5] == 0
+        assert strict[5] == FLAG_STRICT
+
+
+class TestCorruptionRejection:
+    def test_crc_flip_rejected_everywhere(self, tmp_path):
+        record = encode_record(1, _all_opcode_batch(), strict=False)
+        path = os.path.join(tmp_path, "wal.log")
+        # Flip one bit at every byte position past the length prefix: the
+        # CRC (or the header checks) must reject each corruption.
+        for position in range(4, len(record)):
+            corrupted = bytearray(record)
+            corrupted[position] ^= 0x40
+            with open(path, "wb") as fh:
+                fh.write(bytes(corrupted))
+            scan = read_records(path)
+            assert scan.records == [] and scan.torn, (
+                f"corruption at byte {position} was not rejected"
+            )
+            assert scan.valid_end_offset == 0
+
+    def test_corruption_ends_scan_at_last_valid_record(self, tmp_path):
+        good = encode_record(0, _all_opcode_batch(), strict=False)
+        bad = bytearray(encode_record(1, _all_opcode_batch(), strict=False))
+        bad[20] ^= 0xFF
+        path = os.path.join(tmp_path, "wal.log")
+        with open(path, "wb") as fh:
+            fh.write(good + bytes(bad))
+        scan = read_records(path)
+        assert len(scan.records) == 1 and scan.torn
+        assert scan.valid_end_offset == len(good)
+
+    def test_torn_tail_truncation(self, tmp_path):
+        first = encode_record(0, _all_opcode_batch(), strict=False)
+        second = encode_record(1, _all_opcode_batch(), strict=False)
+        path = os.path.join(tmp_path, "wal.log")
+        # Every possible torn length of the second record (including a
+        # torn length prefix) must recover exactly the first record.
+        for cut in range(0, len(second)):
+            with open(path, "wb") as fh:
+                fh.write(first + second[:cut])
+            scan = read_records(path)
+            assert len(scan.records) == 1
+            assert scan.torn == (cut > 0)
+            assert scan.valid_end_offset == len(first)
+
+    def test_bad_magic_and_version_rejected(self):
+        payload = bytearray(_strip_frame(encode_record(0, _empty_batch())))
+        wrong_magic = bytes(b"XXXX") + bytes(payload[4:])
+        with pytest.raises(WALCorruptionError, match="magic"):
+            decode_payload(wrong_magic)
+        wrong_version = bytearray(payload)
+        wrong_version[4] = WAL_FORMAT_VERSION + 1
+        with pytest.raises(WALCorruptionError, match="version"):
+            decode_payload(bytes(wrong_version))
+        with pytest.raises(WALCorruptionError, match="shorter"):
+            decode_payload(payload[:10])
+
+    def test_row_count_mismatch_rejected(self):
+        payload = bytearray(_strip_frame(encode_record(0, _empty_batch())))
+        # Claim one row without supplying its bytes.
+        struct.pack_into("<I", payload, 16, 1)
+        with pytest.raises(WALCorruptionError, match="rows"):
+            decode_payload(bytes(payload))
+
+    def test_start_offset_past_eof_raises(self, tmp_path):
+        path = os.path.join(tmp_path, "wal.log")
+        with open(path, "wb") as fh:
+            fh.write(encode_record(0, _empty_batch()))
+        with pytest.raises(WALError, match="past the end"):
+            read_records(path, start_offset=10_000)
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        scan = read_records(os.path.join(tmp_path, "absent.log"))
+        assert scan.records == [] and not scan.torn
+        assert scan.valid_end_offset == 0
+
+
+class TestGoldenBytes:
+    """The exact on-disk bytes, pinned.
+
+    If these fail, the WAL layout changed: that breaks recovery of logs
+    written by earlier versions.  A deliberate format change must bump
+    ``WAL_FORMAT_VERSION`` and re-record both fixtures.
+    """
+
+    def test_golden_record_bytes(self):
+        record = encode_record(3, _all_opcode_batch(), strict=True)
+        assert record.hex() == GOLDEN_RECORD_HEX
+        assert WAL_FORMAT_VERSION == 1
+        assert RECORD_MAGIC == b"RWAL"
+
+    def test_golden_empty_record_bytes(self):
+        record = encode_record(0, _empty_batch(), strict=False)
+        assert record.hex() == GOLDEN_EMPTY_RECORD_HEX
+
+    def test_golden_bytes_decode(self, tmp_path):
+        path = os.path.join(tmp_path, "wal.log")
+        with open(path, "wb") as fh:
+            fh.write(bytes.fromhex(GOLDEN_RECORD_HEX))
+            fh.write(bytes.fromhex(GOLDEN_EMPTY_RECORD_HEX))
+        scan = read_records(path)
+        assert not scan.torn
+        assert [(t, s) for t, s, _ in scan.records] == [(3, True), (0, False)]
+        golden = scan.records[0][2]
+        np.testing.assert_array_equal(
+            golden.opcodes, _all_opcode_batch().opcodes
+        )
+        np.testing.assert_array_equal(golden.keys, _all_opcode_batch().keys)
