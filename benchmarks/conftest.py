@@ -52,6 +52,7 @@ SCALES = {
         "maintenance": dict(batch_size=1 << 9, num_steps=40,
                             queries_per_step=1 << 11),
         "durability": dict(num_ops=1 << 14, tick_size=1 << 10, fsync_batch=8),
+        "resilience": dict(num_ops=1 << 13, tick_size=1 << 9, fault_every=5),
     },
     "paper": {
         "table1": dict(small_elements=1 << 12, large_elements=1 << 16, batch_size=1 << 9),
@@ -77,6 +78,7 @@ SCALES = {
         "maintenance": dict(batch_size=1 << 11, num_steps=64,
                             queries_per_step=1 << 13),
         "durability": dict(num_ops=1 << 16, tick_size=1 << 12, fsync_batch=8),
+        "resilience": dict(num_ops=1 << 15, tick_size=1 << 11, fault_every=5),
     },
 }
 

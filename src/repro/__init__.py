@@ -106,11 +106,18 @@ from repro.durability import (
 )
 from repro.serve import (
     BatchTicket,
+    DeadlineExceededError,
     Engine,
     EngineClosedError,
+    EngineError,
+    EngineInternalError,
     EngineSaturatedError,
     EngineStats,
+    HealthState,
+    LoadSheddingPolicy,
     OpTicket,
+    PoisonOperationError,
+    ResilienceConfig,
     TickConfig,
     TickTrigger,
 )
@@ -138,8 +145,15 @@ __all__ = [
     # Serving engine (multi-client admission over the mixed-op planner)
     "Engine",
     "EngineStats",
+    "EngineError",
     "EngineClosedError",
     "EngineSaturatedError",
+    "EngineInternalError",
+    "DeadlineExceededError",
+    "PoisonOperationError",
+    "ResilienceConfig",
+    "HealthState",
+    "LoadSheddingPolicy",
     "TickConfig",
     "TickTrigger",
     "OpTicket",

@@ -73,6 +73,13 @@ class KVStore:
         (``insert`` / ``delete`` below) bypasses the tick path and is
         **not** logged — route durable traffic through :meth:`apply` /
         sessions.
+    resilience:
+        A :class:`~repro.serve.resilience.ResilienceConfig` forwarded to
+        the engine.  For this synchronous facade the relevant knob is
+        ``transactional_ticks`` — a failed :meth:`apply` then rolls the
+        backend back to its pre-tick state before the error propagates,
+        so backend and WAL never diverge.  ``None`` (the default) keeps
+        today's behavior exactly.
 
     Examples
     --------
@@ -100,6 +107,7 @@ class KVStore:
         key_only: bool = False,
         cache_capacity: Optional[int] = None,
         durability=None,
+        resilience=None,
     ) -> None:
         if backend is None:
             backend = GPULSM(
@@ -116,6 +124,7 @@ class KVStore:
             consistency=self.consistency,
             cache_capacity=cache_capacity,
             durability=durability,
+            resilience=resilience,
         )
         #: The engine's view of the backend — the read-cache wrapper when
         #: ``cache_capacity`` is set — so the legacy per-method surface
@@ -181,6 +190,13 @@ class KVStore:
     def stats(self) -> EngineStats:
         """The engine's serving telemetry for this facade's ticks."""
         return self.engine.stats()
+
+    def health(self):
+        """The engine's health verdict
+        (:class:`~repro.serve.resilience.HealthState`).  A thread-free
+        facade reports ``OK`` unless a guarded stage failed — see
+        :meth:`repro.serve.engine.Engine.health`."""
+        return self.engine.health()
 
     # ------------------------------------------------------------------ #
     # Introspection

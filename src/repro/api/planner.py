@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -500,6 +500,7 @@ def execute_plan(
     plan: Plan,
     backend,
     device: Optional[Device] = None,
+    fault_check: Optional[Callable[[str], None]] = None,
 ) -> ResultBatch:
     """Run an already-planned batch against a dictionary backend.
 
@@ -508,6 +509,15 @@ def execute_plan(
     own planning device) while tick ``N`` executes on the backend.  The
     plan must have been produced by :func:`plan_batch` for this exact
     batch; the epoch-pinning guarantee applies unchanged.
+
+    ``fault_check``, when given, is called with the crash-point name
+    ``"engine.mid_execute"`` after each applied update segment — the
+    serving engine's fault-injection hook (a callback rather than an
+    injector import keeps this module free of a durability dependency).
+    A raise there leaves the backend mid-tick: earlier segments applied,
+    later ones not — exactly the partial mutation transactional ticks
+    must be able to undo.  ``None`` (the default) is the untouched
+    production path.
     """
     if device is None:
         device = _backend_device(backend)
@@ -528,6 +538,8 @@ def execute_plan(
                 arrival_order=plan.consistency is Consistency.STRICT,
                 device=device,
             )
+            if fault_check is not None:
+                fault_check("engine.mid_execute")
         else:
             if pinned is None:
                 pinned = _read_epoch(backend)

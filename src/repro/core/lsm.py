@@ -595,6 +595,26 @@ class GPULSM:
 
             check_lsm_invariants(self)
 
+    def rollback_to(self, state: dict) -> None:
+        """Discard the resident state and reload a :meth:`snapshot_state`
+        dict — the transactional-tick undo of the serving engine.
+
+        Unlike :meth:`restore_state` (recovery into a *fresh* structure),
+        the structure may be arbitrarily mutated — e.g. a tick's cascade
+        ran, or an earlier update segment of a STRICT tick landed before a
+        later one failed.  Everything the tick touched is dropped and the
+        captured levels are reloaded verbatim; the epoch moves forward
+        (never backwards — readers pinned on the aborted state must still
+        notice), so answers after the rollback are bit-identical to the
+        capture point while epoch-keyed caches correctly invalidate.
+        """
+        for lvl in self.levels:
+            lvl.clear()
+        self.num_batches = 0
+        self._trailing_placebos = 0
+        self._placebo_level = -1
+        self.restore_state(state)
+
     # ------------------------------------------------------------------ #
     # Query acceleration (fence / Bloom filters)
     # ------------------------------------------------------------------ #

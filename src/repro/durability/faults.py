@@ -36,12 +36,21 @@ class InjectedCrash(RuntimeError):
 #: record already on disk; ``wal.pre_fsync`` crashes after appends are
 #: buffered but before the group-commit fsync; the two snapshot points
 #: crash with a partial temp file / with complete temp files whose manifest
-#: rename never committed.
+#: rename never committed.  The four ``engine.*`` points (PR 9) sit on the
+#: serving engine's tick path, in tick order: before planning, between a
+#: tick's update segments (the backend is partially mutated), after
+#: execution but before the WAL append (backend ahead of the log — the
+#: divergence transactional ticks must undo), and after the WAL commit but
+#: before tickets resolve (committed but unacknowledged).
 FAULT_POINTS = (
     "wal.mid_append",
     "wal.pre_fsync",
     "snapshot.mid_write",
     "snapshot.pre_rename",
+    "engine.pre_plan",
+    "engine.mid_execute",
+    "engine.post_execute_pre_wal",
+    "engine.pre_resolve",
 )
 
 
@@ -55,21 +64,45 @@ class FaultInjector:
         e.g. ``{"wal.mid_append": 3}`` dies halfway through the third WAL
         append.  Unknown names are rejected loudly — a typo here would
         silently test nothing.
+    every:
+        Mapping of fault-point name to a recurrence period: the point
+        raises on every N-th hit, *without* latching ``crashed`` — the
+        chaos-rate mode the resilience benchmark uses to model a steady
+        transient-fault rate rather than one process death.  A point may
+        appear in ``crash_at`` or ``every``, not both.
     """
 
-    def __init__(self, crash_at: Mapping[str, int]) -> None:
-        for point, hit in crash_at.items():
-            if point not in FAULT_POINTS:
-                raise ValueError(
-                    f"unknown fault point {point!r}; choose from {FAULT_POINTS}"
-                )
-            if int(hit) < 1:
-                raise ValueError(f"crash hit for {point!r} must be >= 1")
+    def __init__(
+        self,
+        crash_at: Optional[Mapping[str, int]] = None,
+        every: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        crash_at = crash_at or {}
+        every = every or {}
+        for mapping, label in ((crash_at, "crash hit"), (every, "period")):
+            for point, count in mapping.items():
+                if point not in FAULT_POINTS:
+                    raise ValueError(
+                        f"unknown fault point {point!r}; "
+                        f"choose from {FAULT_POINTS}"
+                    )
+                if int(count) < 1:
+                    raise ValueError(f"{label} for {point!r} must be >= 1")
+        overlap = set(crash_at) & set(every)
+        if overlap:
+            raise ValueError(
+                f"fault points {sorted(overlap)} appear in both crash_at "
+                "and every; pick one mode per point"
+            )
         self._crash_at = {point: int(hit) for point, hit in crash_at.items()}
+        self._every = {point: int(n) for point, n in every.items()}
         #: Lifetime hit counts per point (armed or not), for test asserts.
         self.hits: Dict[str, int] = {point: 0 for point in FAULT_POINTS}
-        #: Set once a crash fired; a dead process cannot crash twice.
+        #: Set once a one-shot crash fired; a dead process cannot crash
+        #: twice.  Recurring (``every``) faults never latch this.
         self.crashed: Optional[str] = None
+        #: Total recurring-fault raises, for benchmark accounting.
+        self.recurring_fired = 0
 
     def check(self, point: str) -> None:
         """Record one hit of ``point``; raise if this hit is the armed one."""
@@ -78,6 +111,12 @@ class FaultInjector:
             self.crashed = point
             raise InjectedCrash(
                 f"injected crash at {point} (hit {self.hits[point]})"
+            )
+        period = self._every.get(point)
+        if period is not None and self.hits[point] % period == 0:
+            self.recurring_fired += 1
+            raise InjectedCrash(
+                f"injected recurring fault at {point} (hit {self.hits[point]})"
             )
 
 

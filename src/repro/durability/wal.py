@@ -248,6 +248,13 @@ class WriteAheadLog:
         self._pending_ticks = 0
         self._last_fsync = time.monotonic()
         self._closed = False
+        #: A failed append left unacknowledged bytes past ``end_offset``
+        #: (a torn half-record, or a complete record whose fsync raised).
+        #: Healed lazily at the *next* append, so between the failure and
+        #: any retry the on-disk state is exactly what a process death at
+        #: that instant would leave — the kill-and-restart oracle depends
+        #: on seeing that torn tail.
+        self._tail_dirty = False
         # Lifetime counters surfaced in Engine.stats().
         self.appends = 0
         self.fsyncs = 0
@@ -262,9 +269,17 @@ class WriteAheadLog:
         The record is written and ``flush``-ed to the OS before this
         method returns — an append that returned is an *acknowledged*
         tick.  The fsync is what group commit batches.
+
+        A failed append (an injected crash, a full disk) leaves
+        unacknowledged bytes after ``end_offset``; the *next* append
+        truncates them first, so an in-process retry — the quarantine
+        path re-running a rolled-back tick — never appends after garbage
+        and never duplicates a record whose fsync failed.
         """
         if self._closed:
             raise WALError("the write-ahead log is closed")
+        if self._tail_dirty:
+            self._heal_tail()
         record = encode_record(tick_id, batch, strict=strict)
         try:
             faults_mod.check(self._faults, "wal.mid_append")
@@ -273,15 +288,31 @@ class WriteAheadLog:
             # disk — exactly what recovery's torn-tail tolerance is for.
             self._file.write(record[: len(record) // 2])
             self._file.flush()
+            self._tail_dirty = True
             raise
         self._file.write(record)
         self._file.flush()
+        try:
+            self._pending_ticks += 1
+            self._maybe_fsync()
+        except Exception:
+            # The record is fully on disk but the caller sees a failed
+            # append: unacknowledged, so the retry must not duplicate it.
+            self._pending_ticks -= 1
+            self._tail_dirty = True
+            raise
         self.appends += 1
         self.bytes_written += len(record)
         self.end_offset += len(record)
-        self._pending_ticks += 1
-        self._maybe_fsync()
         return self.end_offset
+
+    def _heal_tail(self) -> None:
+        """Cut unacknowledged bytes a failed append left past
+        ``end_offset`` (deferred to here so the interim on-disk state
+        matches a process death at the failure point)."""
+        self._file.flush()
+        self._file.truncate(self.end_offset)
+        self._tail_dirty = False
 
     def _fsync_due(self) -> bool:
         if self._pending_ticks == 0:

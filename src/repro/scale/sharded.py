@@ -615,6 +615,33 @@ class ShardedLSM:
             combined.merge_dict(shard.maintenance_stats())
         return combined.as_dict()
 
+    # ------------------------------------------------------------------ #
+    # Snapshot / rollback (durability + resilience subsystems)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Every shard's :meth:`~repro.core.lsm.GPULSM.snapshot_state`, in
+        shard order — the whole front-end's resident state (the capture
+        the serving engine's transactional ticks roll back to)."""
+        return {"shards": [shard.snapshot_state() for shard in self.shards]}
+
+    def rollback_to(self, state: dict) -> None:
+        """Roll every shard back to a :meth:`snapshot_state` capture.
+
+        A tick fans updates across shards, so an aborted tick may have
+        mutated any subset of them; each shard reloads its captured levels
+        verbatim (:meth:`repro.core.lsm.GPULSM.rollback_to`) and bumps its
+        epoch, which moves :attr:`shard_epochs` — pinned readers and
+        epoch-keyed caches notice, answers match the capture point.
+        """
+        shard_states = state["shards"]
+        if len(shard_states) != len(self.shards):
+            raise ValueError(
+                f"snapshot has {len(shard_states)} shards, "
+                f"this front-end has {len(self.shards)}"
+            )
+        for shard, sub in zip(self.shards, shard_states):
+            shard.rollback_to(sub)
+
     def shard_stats(self) -> List[dict]:
         """Per-shard occupancy and profiler counters (for the bench report)."""
         rows = []

@@ -17,6 +17,13 @@ exactly those batches:
   the existing one-multisplit route), plus per-tick telemetry through
   :meth:`Engine.stats`.
 
+* :mod:`repro.serve.resilience` — :class:`ResilienceConfig` and the
+  fault-domain isolation it switches on: transactional ticks, poison-op
+  quarantine, supervised loops with the :class:`HealthState` machine, and
+  deadline-aware admission shedding
+  (:class:`~repro.serve.scheduler.LoadSheddingPolicy`).  All off by
+  default; typed failures live in :mod:`repro.serve.errors`.
+
 :class:`~repro.api.kvstore.KVStore` is a thin single-client view over
 this engine's inline path.
 """
@@ -25,24 +32,43 @@ from repro.serve.cache import DEFAULT_CACHE_CAPACITY, ReadCachedBackend
 from repro.serve.engine import (
     BatchTicket,
     Engine,
-    EngineClosedError,
-    EngineSaturatedError,
     EngineStats,
     OpTicket,
     empty_result_batch,
     slice_result_batch,
 )
-from repro.serve.scheduler import TickConfig, TickTrigger
+from repro.serve.errors import (
+    DeadlineExceededError,
+    EngineClosedError,
+    EngineError,
+    EngineInternalError,
+    EngineSaturatedError,
+    PoisonOperationError,
+)
+from repro.serve.resilience import HealthMonitor, HealthState, ResilienceConfig
+from repro.serve.scheduler import (
+    LoadSheddingPolicy,
+    TickConfig,
+    TickTrigger,
+)
 
 __all__ = [
     "BatchTicket",
     "DEFAULT_CACHE_CAPACITY",
+    "DeadlineExceededError",
     "Engine",
     "ReadCachedBackend",
     "EngineClosedError",
+    "EngineError",
+    "EngineInternalError",
     "EngineSaturatedError",
     "EngineStats",
+    "HealthMonitor",
+    "HealthState",
+    "LoadSheddingPolicy",
     "OpTicket",
+    "PoisonOperationError",
+    "ResilienceConfig",
     "TickConfig",
     "TickTrigger",
     "empty_result_batch",

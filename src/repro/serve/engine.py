@@ -65,25 +65,34 @@ from repro.api.planner import (
     Consistency,
     Plan,
     _backend_device,
+    _read_epoch,
     execute_plan,
     plan_batch,
 )
+from repro.durability import faults as faults_mod
 from repro.durability.manager import DurabilityConfig, DurabilityManager
 from repro.gpu.cost_model import CostModel
 from repro.gpu.device import Device
 from repro.gpu.profiler import LatencyHistogram
 from repro.scale.protocol import simulated_seconds
 from repro.serve.cache import ReadCachedBackend
+from repro.serve.errors import (
+    DeadlineExceededError,
+    EngineClosedError,
+    EngineError,
+    EngineInternalError,
+    EngineSaturatedError,
+    PoisonOperationError,
+)
+from repro.serve.resilience import (
+    HealthMonitor,
+    HealthState,
+    ResilienceConfig,
+    capture_backend_state,
+    rollback_backend_state,
+    supports_rollback,
+)
 from repro.serve.scheduler import TickConfig, TickTrigger
-
-
-class EngineClosedError(RuntimeError):
-    """The engine is not accepting submissions (not started, or closed)."""
-
-
-class EngineSaturatedError(RuntimeError):
-    """Admission backpressure: the queue is at ``max_queue_depth`` and the
-    caller asked not to wait (``timeout=0``)."""
 
 
 def slice_result_batch(result: ResultBatch, lo: int, hi: int) -> ResultBatch:
@@ -140,6 +149,13 @@ class _Ticket:
         self._error = error
         self._event.set()
 
+    def _fail_if_pending(self, error: BaseException) -> None:
+        """Fail the ticket unless it already resolved — the recovery
+        paths' idempotent variant (a crashed stage may have resolved some
+        of a tick's tickets before dying)."""
+        if not self._event.is_set():
+            self._fail(error)
+
     def _get(self, timeout: Optional[float]):
         if not self._event.wait(timeout):
             raise TimeoutError("the operation's tick has not executed yet")
@@ -181,6 +197,10 @@ class _Entry:
     ticket: _Ticket
     t_submit: float
     seq: int
+    #: Absolute monotonic time after which the submission is shed with
+    #: :class:`DeadlineExceededError` instead of executed (``None`` = no
+    #: deadline; checked at tick-cut time).
+    t_deadline: Optional[float] = None
 
     @property
     def size(self) -> int:
@@ -255,6 +275,25 @@ class EngineStats:
     #: default, keeping the stats schema bit-identical for existing
     #: consumers.
     durability: Optional[Dict[str, int]] = None
+    #: Resilience counters (PR 9); all zero / ``"ok"`` when the
+    #: resilience knobs are off, keeping the schema additive.
+    #: Operations shed with ``DeadlineExceededError`` at tick-cut time.
+    deadline_shed_ops: int = 0
+    #: Operations refused by the load-shedding policy at admission.
+    admission_shed_ops: int = 0
+    #: Failed ticks whose backend mutations were rolled back.
+    rolled_back_ticks: int = 0
+    #: Failed ticks the quarantine protocol re-executed entry-by-entry.
+    quarantined_ticks: int = 0
+    #: Entries condemned as poison (failed even in isolation).
+    poisoned_entries: int = 0
+    #: Engine-internal faults (guarded-stage failures, loop crashes).
+    internal_faults: int = 0
+    #: Supervised scheduler/executor loop restarts.
+    loop_restarts: int = 0
+    #: The health state machine's verdict: ``ok`` / ``degraded`` /
+    #: ``failed``.
+    health: str = HealthState.OK.value
 
     @property
     def ops_per_second(self) -> float:
@@ -341,6 +380,17 @@ class Engine:
         subsystem existed.  Durability attaches to the **raw** backend,
         beneath any read cache, so recovery and snapshots see the real
         structure.
+    resilience:
+        A :class:`~repro.serve.resilience.ResilienceConfig` bundling the
+        fault-isolation knobs: transactional ticks (roll the backend back
+        on tick failure), poison-op quarantine (isolate the offending
+        submission, retry the innocent ones with bit-identical answers),
+        supervised thread restarts with the :meth:`health` state machine,
+        deadline-aware shedding, and the engine-side fault-injection
+        points.  ``None`` (the default) — and a default-constructed
+        config — leave every answer and stat bit-identical to an engine
+        without the subsystem.  Like durability, rollback operates on the
+        **raw** backend beneath any read cache.
 
     Usage::
 
@@ -358,7 +408,14 @@ class Engine:
         plan_device: Optional[Device] = None,
         cache_capacity: Optional[int] = None,
         durability: Optional[DurabilityConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
+        self.resilience = resilience or ResilienceConfig()
+        if self.resilience.transactional_ticks and not supports_rollback(backend):
+            raise TypeError(
+                f"transactional_ticks needs a backend with snapshot_state/"
+                f"rollback_to; {type(backend).__name__} has neither"
+            )
         self._durability: Optional[DurabilityManager] = None
         if durability is not None:
             manager = (
@@ -371,6 +428,10 @@ class Engine:
             # both must see the real structure, not a read-through proxy.
             manager.attach(backend)
             self._durability = manager
+        #: The unwrapped backend — what transactional ticks capture and
+        #: roll back (a rollback through the cache proxy would work, but
+        #: the contract is with the real structure, like durability's).
+        self._raw_backend = backend
         self._read_cache: Optional[ReadCachedBackend] = None
         if cache_capacity:
             backend = ReadCachedBackend(backend, capacity=int(cache_capacity))
@@ -379,6 +440,24 @@ class Engine:
         self.config = config or TickConfig()
         self.consistency = Consistency(consistency)
         self._plan_device = plan_device
+        self._fault_injector = self.resilience.fault_injector
+        self._health = HealthMonitor(self.resilience.recovery_ticks)
+        #: Set once by :meth:`_fail_engine`; a fail-stopped engine refuses
+        #: every submission and has resolved every outstanding ticket.
+        self._failed_error: Optional[BaseException] = None
+        #: When the admission queue first hit the backpressure bound and
+        #: has stayed there (``None`` while below the bound) — what the
+        #: load-shedding policy's grace period is measured against.
+        self._saturated_since: Optional[float] = None
+        #: Ticks cut but not yet finally recorded (planning, queued for
+        #: execution, or executing) — shed-only cuts must not advance
+        #: ``_completed_seq`` past them (see ``_pending_shed_seq``).
+        self._inflight_ticks = 0
+        self._pending_shed_seq = 0
+        #: The tick currently owned by each loop, reaped by the watchdog
+        #: if the loop crashes so its tickets never dangle.
+        self._pending_cut: Optional[_FormedTick] = None
+        self._inflight_item: Optional[Tuple[_FormedTick, Plan]] = None
 
         self._cond = threading.Condition()
         self._queue: Deque[_Entry] = collections.deque()
@@ -417,6 +496,13 @@ class Engine:
         self._max_queue_seen = 0
         self._t_first: Optional[float] = None
         self._t_last_done: Optional[float] = None
+        # Resilience telemetry (also under self._cond).
+        self._deadline_shed_ops = 0
+        self._admission_shed_ops = 0
+        self._rolled_back_ticks = 0
+        self._quarantined_ticks = 0
+        self._poisoned_entries = 0
+        self._loop_restarts: Dict[str, int] = {"scheduler": 0, "executor": 0}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -435,10 +521,16 @@ class Engine:
                 self._plan_device = Device(_backend_device(self.backend).spec)
             self._started = True
         self._scheduler_thread = threading.Thread(
-            target=self._scheduler_loop, name="serve-scheduler", daemon=True
+            target=self._run_supervised,
+            args=(self._scheduler_loop, "scheduler"),
+            name="serve-scheduler",
+            daemon=True,
         )
         self._executor_thread = threading.Thread(
-            target=self._executor_loop, name="serve-executor", daemon=True
+            target=self._run_supervised,
+            args=(self._executor_loop, "executor"),
+            name="serve-executor",
+            daemon=True,
         )
         self._scheduler_thread.start()
         self._executor_thread.start()
@@ -500,28 +592,59 @@ class Engine:
         """The engine's hot-key read cache, or ``None`` when uncached."""
         return self._read_cache
 
+    def health(self) -> HealthState:
+        """The engine's health state machine verdict.
+
+        ``OK`` — serving normally.  ``DEGRADED`` — an internal fault was
+        seen recently (a guarded stage raised, a loop crashed and was
+        restarted); still serving, recovers to ``OK`` after
+        ``recovery_ticks`` clean ticks.  ``FAILED`` — fail-stopped:
+        every outstanding ticket has been resolved with
+        :class:`~repro.serve.errors.EngineInternalError` and every new
+        submission is refused.  Client-attributable failures (poison
+        operations, deadline sheds, saturation) never degrade health.
+        """
+        with self._cond:
+            return self._health.state
+
     # ------------------------------------------------------------------ #
     # Admission
     # ------------------------------------------------------------------ #
-    def submit(self, op: Op, timeout: Optional[float] = None) -> OpTicket:
+    def submit(
+        self,
+        op: Op,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> OpTicket:
         """Enqueue one operation; returns its future-style ticket.
 
         Blocks while the queue is at the backpressure bound; ``timeout=0``
         raises :class:`EngineSaturatedError` immediately instead, any
         other timeout raises it once the wait expires.
+
+        ``deadline`` is the operation's latency budget in seconds from
+        now: if it is still queued when a tick is cut after the budget
+        expires, it is shed — its ticket fails with
+        :class:`~repro.serve.errors.DeadlineExceededError` and the
+        operation is never executed.  ``None`` (the default) never sheds.
         """
         ticket = OpTicket()
-        self._admit(OpBatch.from_ops([op]), ticket, timeout)
+        self._admit(OpBatch.from_ops([op]), ticket, timeout, deadline)
         return ticket
 
     def submit_batch(
-        self, batch: OpBatch, timeout: Optional[float] = None
+        self,
+        batch: OpBatch,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> BatchTicket:
         """Enqueue one columnar batch as a unit (never split across ticks).
 
         The ticket resolves to the submission's own request-ordered
         :class:`~repro.api.ops.ResultBatch`.  A batch larger than the
         backpressure bound is admitted once the queue is empty.
+        ``deadline`` bounds queueing latency for the whole batch, exactly
+        as on :meth:`submit`.
         """
         if not isinstance(batch, OpBatch):
             raise TypeError(
@@ -531,15 +654,28 @@ class Engine:
         if batch.size == 0:
             ticket._resolve(empty_result_batch())
             return ticket
-        self._admit(batch, ticket, timeout)
+        self._admit(batch, ticket, timeout, deadline)
         return ticket
 
     def _admit(
-        self, batch: OpBatch, ticket: _Ticket, timeout: Optional[float]
+        self,
+        batch: OpBatch,
+        ticket: _Ticket,
+        timeout: Optional[float],
+        deadline: Optional[float] = None,
     ) -> None:
-        deadline = None if timeout is None else time.monotonic() + timeout
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be a non-negative number of seconds")
+        timeout_at = None if timeout is None else time.monotonic() + timeout
+        shedding = self.resilience.shedding
         with self._cond:
             while True:
+                if self._failed_error is not None:
+                    raise EngineInternalError(
+                        "the engine has fail-stopped and is not accepting "
+                        "submissions",
+                        cause=self._failed_error,
+                    )
                 if self._closed or self._closing:
                     raise EngineClosedError(
                         "the engine is closed and not accepting submissions"
@@ -555,20 +691,47 @@ class Engine:
                 )
                 if fits:
                     break
-                remaining = (
-                    None if deadline is None else deadline - time.monotonic()
-                )
+                now = time.monotonic()
+                if self._saturated_since is None:
+                    self._saturated_since = now
+                if shedding is not None and shedding.should_shed(
+                    now - self._saturated_since
+                ):
+                    self._admission_shed_ops += batch.size
+                    raise EngineSaturatedError(
+                        f"load shed: the admission queue has been saturated "
+                        f"for {now - self._saturated_since:.3f}s "
+                        f"(grace {shedding.grace_s}s; {self._queued_ops} "
+                        f"queued ops, bound {self.config.max_queue_depth})"
+                    )
+                remaining = None if timeout_at is None else timeout_at - now
                 if remaining is not None and remaining <= 0:
                     raise EngineSaturatedError(
                         f"admission queue is at its backpressure bound "
                         f"({self._queued_ops} queued ops, bound "
                         f"{self.config.max_queue_depth})"
                     )
-                self._cond.wait(remaining)
+                wait_for = remaining
+                if shedding is not None:
+                    until_shed = shedding.time_until_shed(
+                        now - self._saturated_since
+                    )
+                    wait_for = (
+                        until_shed
+                        if wait_for is None
+                        else min(wait_for, until_shed)
+                    )
+                self._cond.wait(wait_for)
             now = time.monotonic()
             self._seq += 1
             self._queue.append(
-                _Entry(batch=batch, ticket=ticket, t_submit=now, seq=self._seq)
+                _Entry(
+                    batch=batch,
+                    ticket=ticket,
+                    t_submit=now,
+                    seq=self._seq,
+                    t_deadline=None if deadline is None else now + deadline,
+                )
             )
             self._queued_ops += batch.size
             self._max_queue_seen = max(self._max_queue_seen, self._queued_ops)
@@ -608,6 +771,12 @@ class Engine:
         path and the same telemetry as scheduler-formed ticks.  Safe to
         call while the engine is running threaded (it serialises with the
         executor on the backend).
+
+        With ``transactional_ticks`` on, a failed inline tick rolls the
+        backend back to its pre-tick state before the failure propagates,
+        so backend and WAL stay in step.  Quarantine does not apply here
+        — the caller formed the batch, so there are no co-batched victims
+        to protect; the whole batch is the fault domain.
         """
         mode = self.consistency if consistency is None else Consistency(consistency)
         # Inline ticks always plan on the backend's own device: the
@@ -617,12 +786,28 @@ class Engine:
         t0 = time.monotonic()
         failed = False
         with self._exec_lock:
+            self._check_fault("engine.pre_plan")
             plan_before = plan_device.simulated_seconds
             plan = plan_batch(batch, consistency=mode, device=plan_device)
             plan_delta = plan_device.simulated_seconds - plan_before
             sim_before = simulated_seconds(self.backend)
+            token = (
+                capture_backend_state(self._raw_backend)
+                if self.resilience.transactional_ticks
+                else None
+            )
             try:
-                result = execute_plan(batch, plan, self.backend)
+                result = execute_plan(
+                    batch,
+                    plan,
+                    self.backend,
+                    fault_check=(
+                        self._check_fault
+                        if self._fault_injector is not None
+                        else None
+                    ),
+                )
+                self._check_fault("engine.post_execute_pre_wal")
                 if self._durability is not None:
                     # The write-ahead record is the acknowledgement: a
                     # tick whose append did not return is not committed
@@ -630,6 +815,10 @@ class Engine:
                     self._durability.log_tick(batch, mode)
             except Exception:
                 failed = True
+                if token is not None:
+                    rollback_backend_state(self._raw_backend, token)
+                    with self._cond:
+                        self._rolled_back_ticks += 1
                 raise
             finally:
                 sim_delta = simulated_seconds(self.backend) - sim_before
@@ -652,23 +841,58 @@ class Engine:
     # ------------------------------------------------------------------ #
     # Scheduler / executor threads
     # ------------------------------------------------------------------ #
-    def _cut_tick_locked(self, trigger: TickTrigger) -> Tuple[List[_Entry], int]:
-        """Pop whole entries until the tick reaches the target size."""
+    def _cut_tick_locked(
+        self, trigger: TickTrigger
+    ) -> Tuple[List[_Entry], List[_Entry]]:
+        """Pop whole entries until the tick reaches the target size.
+
+        Entries whose ``deadline=`` expired while queued are diverted to
+        the shed list instead of the tick — resolved with
+        :class:`DeadlineExceededError`, never executed.  Shedding happens
+        only here, at the queue front during a cut, so the FIFO sequence
+        accounting :meth:`flush` relies on stays monotone.
+        """
         entries: List[_Entry] = []
+        shed: List[_Entry] = []
         total = 0
+        now = time.monotonic()
         while self._queue and total < self.config.target_tick_size:
             entry = self._queue.popleft()
+            if entry.t_deadline is not None and now >= entry.t_deadline:
+                shed.append(entry)
+                self._queued_ops -= entry.size
+                continue
             entries.append(entry)
             total += entry.size
         self._queued_ops -= total
+        if self._queued_ops < self.config.max_queue_depth:
+            self._saturated_since = None
         self._cond.notify_all()  # backpressured submitters may proceed
-        return entries, total
+        return entries, shed
+
+    def _resolve_shed_locked(self, shed: List[_Entry]) -> None:
+        """Fail shed entries' tickets (holding ``_cond``; cheap — a fail
+        just sets an event)."""
+        if not shed:
+            return
+        now = time.monotonic()
+        self._deadline_shed_ops += sum(e.size for e in shed)
+        for entry in shed:
+            entry.ticket._fail(
+                DeadlineExceededError(
+                    f"deadline expired {now - entry.t_deadline:.4f}s ago "
+                    f"while the submission waited in the admission queue; "
+                    f"it was shed, not executed"
+                )
+            )
 
     def _scheduler_loop(self) -> None:
         while True:
             tick: Optional[_FormedTick] = None
             with self._cond:
                 while tick is None:
+                    if self._failed_error is not None:
+                        break
                     if self._queue:
                         if self._closing or self._flush_requested:
                             trigger = TickTrigger.FLUSH
@@ -676,8 +900,31 @@ class Engine:
                             age = time.monotonic() - self._queue[0].t_submit
                             trigger = self.config.trigger(self._queued_ops, age)
                         if trigger is not None:
-                            entries, _ = self._cut_tick_locked(trigger)
+                            entries, shed = self._cut_tick_locked(trigger)
+                            self._resolve_shed_locked(shed)
+                            if shed:
+                                # Account shed seqs so flush() completes
+                                # — but never let them overtake a tick
+                                # still in flight (or about to be).
+                                top = max(e.seq for e in shed)
+                                if self._inflight_ticks == 0 and not entries:
+                                    self._completed_seq = max(
+                                        self._completed_seq, top
+                                    )
+                                    self._cond.notify_all()
+                                else:
+                                    self._pending_shed_seq = max(
+                                        self._pending_shed_seq, top
+                                    )
+                            if not entries:
+                                continue
+                            # Track the cut entries for the supervisor's
+                            # reap *before* forming the tick: a crash in
+                            # formation must not strand their tickets.
+                            self._inflight_ticks += 1
+                            self._pending_cut = entries
                             tick = self._form_tick(entries, trigger)
+                            self._pending_cut = tick
                             break
                         self._cond.wait(self.config.time_until_deadline(age))
                         continue
@@ -687,21 +934,119 @@ class Engine:
                     if self._closing:
                         break
                     self._cond.wait()
-            if tick is None:  # closing, queue drained
-                self._exec_queue.put(None)
+            if tick is None:  # closing (queue drained) or fail-stopped
+                self._put_exec(None)
                 return
-            # Plan outside the lock: this is the pipeline's first stage,
-            # overlapping the executor thread's work on the previous tick.
-            plan_device = self._plan_device
+            outcome = self._plan_tick(tick)
+            self._pending_cut = None
+            if outcome is None:
+                continue  # the tick was fully resolved by the plan-failure path
+            if not self._put_exec(outcome):
+                return  # fail-stopped while the hand-off queue was full
+
+    def _plan_tick(
+        self, tick: _FormedTick
+    ) -> Optional[Tuple[_FormedTick, Plan]]:
+        """The pipeline's first stage: plan the tick outside the lock,
+        overlapping the executor thread's work on the previous tick.
+
+        A planning failure — a poison submission the planner rejects, an
+        injected ``engine.pre_plan`` crash — must not kill this thread
+        (the pre-PR 9 bug): the tick is resolved here (quarantined, or
+        failed wholesale) and ``None`` is returned so the scheduler moves
+        on to the next tick.
+        """
+        plan_device = self._plan_device
+        try:
+            self._check_fault("engine.pre_plan")
             plan_before = plan_device.simulated_seconds
             plan = plan_batch(
                 tick.batch, consistency=self.consistency, device=plan_device
             )
-            with self._cond:
-                self._plan_seconds_total += (
-                    plan_device.simulated_seconds - plan_before
+        except Exception as exc:
+            return self._handle_plan_failure(tick, exc)
+        with self._cond:
+            self._plan_seconds_total += (
+                plan_device.simulated_seconds - plan_before
+            )
+        return tick, plan
+
+    def _handle_plan_failure(
+        self, tick: _FormedTick, exc: BaseException
+    ) -> Optional[Tuple[_FormedTick, Plan]]:
+        """Resolve a tick whose *planning* failed (the backend untouched).
+
+        Without quarantine every entry fails with the original error —
+        already an improvement over the pre-PR 9 engine, which let the
+        exception kill the scheduler thread and wedge all submitters.
+        With quarantine each entry is re-planned alone to find the poison
+        submissions; the innocent remainder is re-formed into a retry
+        tick, whose ``(tick, plan)`` is returned to continue down the
+        normal pipeline (its answers are bit-identical to a fault-free
+        run — planning has no backend side effects).
+        """
+        if not self.resilience.quarantine:
+            self._fail_tick(tick, exc)
+            return None
+        device = self._plan_device
+        poisons: List[Tuple[_Entry, BaseException]] = []
+        innocents: List[_Entry] = []
+        for entry in tick.entries:
+            try:
+                plan_batch(
+                    entry.batch, consistency=self.consistency, device=device
                 )
-            self._exec_queue.put((tick, plan))
+                innocents.append(entry)
+            except Exception as probe_exc:
+                poisons.append((entry, probe_exc))
+        for entry, cause in poisons:
+            entry.ticket._fail(PoisonOperationError(cause, entry.batch))
+        if poisons:
+            with self._cond:
+                self._quarantined_ticks += 1
+                self._poisoned_entries += len(poisons)
+        else:
+            # Every entry plans fine alone: the failure was transient
+            # (an injected crash); retry the whole tick.
+            innocents = list(tick.entries)
+        if not innocents:
+            self._fail_tick(tick, exc, fail_tickets=False)
+            return None
+        retry = self._form_tick(innocents, tick.trigger)
+        retry.last_seq = tick.last_seq
+        try:
+            plan = plan_batch(
+                retry.batch, consistency=self.consistency, device=device
+            )
+        except Exception as retry_exc:
+            self._fail_tick(retry, retry_exc)
+            return None
+        return retry, plan
+
+    def _fail_tick(
+        self, tick: _FormedTick, exc: BaseException, fail_tickets: bool = True
+    ) -> None:
+        """Resolve every ticket of a tick with ``exc`` (unless already
+        resolved) and record the failed tick, advancing the sequence
+        watermark so :meth:`flush` completes."""
+        t_done = time.monotonic()
+        if fail_tickets:
+            for entry in tick.entries:
+                entry.ticket._fail_if_pending(exc)
+        self._record_tick(
+            size=tick.batch.size,
+            trigger=tick.trigger,
+            op_latencies=[
+                (t_done - entry.t_submit, entry.size) for entry in tick.entries
+            ],
+            tick_latency=t_done - tick.t_formed,
+            sim_seconds=0.0,
+            plan_seconds=0.0,
+            t_done=t_done,
+            failed=True,
+            last_seq=tick.last_seq,
+            inflight_done=True,
+        )
 
     @staticmethod
     def _form_tick(entries: List[_Entry], trigger: TickTrigger) -> _FormedTick:
@@ -724,16 +1069,46 @@ class Engine:
             item = self._exec_queue.get()
             if item is None:
                 return
+            with self._cond:
+                failed = self._failed_error is not None
+            if failed:
+                tick, _ = item
+                wrapped = EngineInternalError(
+                    "the engine fail-stopped before this tick executed",
+                    cause=self._failed_error,
+                )
+                for entry in tick.entries:
+                    entry.ticket._fail_if_pending(wrapped)
+                return
+            self._inflight_item = item
             tick, plan = item
             self._execute_tick(tick, plan)
+            self._inflight_item = None
 
     def _execute_tick(self, tick: _FormedTick, plan: Plan) -> None:
         error: Optional[BaseException] = None
         result: Optional[ResultBatch] = None
+        quarantine = None
+        rolled_back = False
         with self._exec_lock:
             sim_before = simulated_seconds(self.backend)
+            token = (
+                capture_backend_state(self._raw_backend)
+                if self.resilience.transactional_ticks
+                else None
+            )
             try:
-                result = execute_plan(tick.batch, plan, self.backend)
+                result = execute_plan(
+                    tick.batch,
+                    plan,
+                    self.backend,
+                    fault_check=(
+                        self._check_fault
+                        if self._fault_injector is not None
+                        else None
+                    ),
+                )
+                self._check_fault("engine.post_execute_pre_wal")
                 if self._durability is not None:
                     # Log before any ticket resolves: the append is the
                     # acknowledgement, so a tick that fails to reach the
@@ -741,36 +1116,70 @@ class Engine:
                     self._durability.log_tick(tick.batch, plan.consistency)
             except Exception as exc:  # resolve tickets with the failure
                 error = exc
+                if token is not None:
+                    # Transactional tick: undo whatever the failed tick
+                    # mutated (a STRICT tick may have landed earlier
+                    # collapse runs; a WAL failure left the backend ahead
+                    # of the log).  After this the backend is bit-identical
+                    # to its pre-tick state.
+                    try:
+                        rollback_backend_state(self._raw_backend, token)
+                        rolled_back = True
+                    except Exception as rb_exc:  # pragma: no cover - defensive
+                        error = EngineInternalError(
+                            "tick rollback failed; backend state is "
+                            "undefined",
+                            cause=rb_exc,
+                        )
+            if error is not None and rolled_back and self.resilience.quarantine:
+                quarantine = self._quarantine_locked(tick, plan, token)
             sim_delta = simulated_seconds(self.backend) - sim_before
-        t_done = time.monotonic()
+        if rolled_back:
+            with self._cond:
+                self._rolled_back_ticks += 1
+        if quarantine is not None:
+            self._resolve_quarantined(tick, quarantine, sim_delta)
+            return
 
+        t_done = time.monotonic()
         # One slice (or typed row view) per *submission*, not per op: a
         # tick's rows are contiguous per entry, so resolution is a sliced
         # scatter of the tick's result and the latency telemetry is one
-        # weighted histogram update per entry.
-        for entry, offset in zip(tick.entries, tick.offsets):
-            if error is not None:
-                entry.ticket._fail(error)
-            elif isinstance(entry.ticket, BatchTicket):
-                entry.ticket._resolve(
-                    slice_result_batch(result, offset, offset + entry.size)
-                )
-            else:
-                entry.ticket._resolve(result.result(offset))
+        # weighted histogram update per entry.  The whole completion stage
+        # is guarded: an exception past this point used to kill the
+        # executor thread with some tickets resolved and some dangling —
+        # now the dangling ones fail typed and the loop keeps serving.
+        try:
+            if error is None:
+                self._check_fault("engine.pre_resolve")
+            for entry, offset in zip(tick.entries, tick.offsets):
+                if error is not None:
+                    entry.ticket._fail(error)
+                elif isinstance(entry.ticket, BatchTicket):
+                    entry.ticket._resolve(
+                        slice_result_batch(result, offset, offset + entry.size)
+                    )
+                else:
+                    entry.ticket._resolve(result.result(offset))
 
-        self._record_tick(
-            size=tick.batch.size,
-            trigger=tick.trigger,
-            op_latencies=[
-                (t_done - entry.t_submit, entry.size) for entry in tick.entries
-            ],
-            tick_latency=t_done - tick.t_formed,
-            sim_seconds=sim_delta,
-            plan_seconds=0.0,  # planned on the dedicated device, overlapped
-            t_done=t_done,
-            failed=error is not None,
-            last_seq=tick.last_seq,
-        )
+            self._record_tick(
+                size=tick.batch.size,
+                trigger=tick.trigger,
+                op_latencies=[
+                    (t_done - entry.t_submit, entry.size)
+                    for entry in tick.entries
+                ],
+                tick_latency=t_done - tick.t_formed,
+                sim_seconds=sim_delta,
+                plan_seconds=0.0,  # planned on the dedicated device, overlapped
+                t_done=t_done,
+                failed=error is not None,
+                last_seq=tick.last_seq,
+                inflight_done=True,
+            )
+        except Exception as exc:
+            self._recover_completion_fault(tick, exc)
+            return
 
         if error is None:
             # Engine-scheduled maintenance: evaluate the backend's
@@ -780,10 +1189,383 @@ class Engine:
             # a tick's pinned reads.  It runs *after* the tick's tickets
             # resolved and its latency was stamped, so waiting clients
             # never pay for a rebuild and maintenance time stays out of
-            # the per-op latency percentiles.
-            with self._exec_lock:
-                self._run_due_maintenance_locked()
-                self._maybe_snapshot_locked()
+            # the per-op latency percentiles.  Guarded: a maintenance or
+            # snapshot failure degrades health but never kills the loop —
+            # the tick's clients already have their answers.
+            try:
+                with self._exec_lock:
+                    self._run_due_maintenance_locked()
+                    self._maybe_snapshot_locked()
+            except Exception as exc:
+                self._note_internal_fault(exc)
+
+    # ------------------------------------------------------------------ #
+    # Quarantine (the poison-op isolation protocol)
+    # ------------------------------------------------------------------ #
+    def _quarantine_locked(self, tick: _FormedTick, plan: Plan, token: dict):
+        """Find the poison entries of a rolled-back tick and retry the
+        innocent ones (holding the executor lock; the backend is at the
+        pre-tick state).
+
+        Protocol, in three moves:
+
+        1. **Probe** — each entry re-executes alone from the pre-tick
+           state; any mutation is rolled back after the probe.  Entries
+           that fail alone are the poison; their probe answers are
+           discarded either way.
+        2. **Classify** — if no entry fails alone, the original failure
+           was transient (an injected crash, a WAL hiccup) and *everyone*
+           is innocent.
+        3. **Retry** — the innocent entries re-execute together as one
+           tick from the pre-tick state, in their original relative
+           order: same canonical fold, same arrival order, same snapshot
+           — so innocent answers are bit-identical to a fault-free run.
+           Only this retry tick reaches the WAL.
+
+        Returns a dict consumed by :meth:`_resolve_quarantined`.
+        """
+        device = _backend_device(self.backend)
+        poisons: List[Tuple[_Entry, BaseException]] = []
+        innocents: List[_Entry] = []
+        for entry in tick.entries:
+            epoch_before = _read_epoch(self._raw_backend)
+            try:
+                sub_plan = plan_batch(
+                    entry.batch, consistency=plan.consistency, device=device
+                )
+                execute_plan(entry.batch, sub_plan, self.backend)
+                innocents.append(entry)
+            except Exception as probe_exc:
+                poisons.append((entry, probe_exc))
+            if _read_epoch(self._raw_backend) != epoch_before:
+                # The probe mutated (or partially mutated) the backend;
+                # the next probe must start from the pre-tick state again.
+                rollback_backend_state(self._raw_backend, token)
+        if not poisons:
+            innocents = list(tick.entries)
+        retry_tick: Optional[_FormedTick] = None
+        retry_result: Optional[ResultBatch] = None
+        retry_error: Optional[BaseException] = None
+        if innocents:
+            retry_tick = self._form_tick(innocents, tick.trigger)
+            retry_tick.last_seq = tick.last_seq
+            try:
+                retry_plan = plan_batch(
+                    retry_tick.batch, consistency=plan.consistency, device=device
+                )
+                retry_result = execute_plan(
+                    retry_tick.batch, retry_plan, self.backend
+                )
+                if self._durability is not None:
+                    self._durability.log_tick(
+                        retry_tick.batch, plan.consistency
+                    )
+            except Exception as retry_exc:
+                retry_error = retry_exc
+                rollback_backend_state(self._raw_backend, token)
+        return {
+            "poisons": poisons,
+            "retry_tick": retry_tick,
+            "result": retry_result,
+            "error": retry_error,
+        }
+
+    def _resolve_quarantined(
+        self, tick: _FormedTick, quarantine: dict, sim_delta: float
+    ) -> None:
+        """Resolve a quarantined tick's tickets and record its telemetry:
+        one failed tick (the original) plus, when innocents retried, one
+        tick for the retry's outcome."""
+        retry_tick: Optional[_FormedTick] = quarantine["retry_tick"]
+        retry_error = quarantine["error"]
+        result = quarantine["result"]
+        if retry_error is not None and not isinstance(retry_error, EngineError):
+            # Innocent submissions always fail typed: the retry's failure
+            # is the engine's problem, not theirs.
+            retry_error = EngineInternalError(
+                "the quarantine retry of the innocent submissions failed; "
+                "the backend was rolled back to the pre-tick state",
+                cause=retry_error,
+            )
+        t_done = time.monotonic()
+        try:
+            for entry, cause in quarantine["poisons"]:
+                entry.ticket._fail(PoisonOperationError(cause, entry.batch))
+            if retry_tick is not None:
+                for entry, offset in zip(retry_tick.entries, retry_tick.offsets):
+                    if retry_error is not None:
+                        entry.ticket._fail(retry_error)
+                    elif isinstance(entry.ticket, BatchTicket):
+                        entry.ticket._resolve(
+                            slice_result_batch(
+                                result, offset, offset + entry.size
+                            )
+                        )
+                    else:
+                        entry.ticket._resolve(result.result(offset))
+            with self._cond:
+                self._quarantined_ticks += 1
+                self._poisoned_entries += len(quarantine["poisons"])
+            # The original combined tick failed; the retry (if any)
+            # carries the sequence watermark and the in-flight hand-back.
+            self._record_tick(
+                size=tick.batch.size,
+                trigger=tick.trigger,
+                op_latencies=[],
+                tick_latency=t_done - tick.t_formed,
+                sim_seconds=sim_delta,
+                plan_seconds=0.0,
+                t_done=t_done,
+                failed=True,
+                last_seq=None if retry_tick is not None else tick.last_seq,
+                inflight_done=retry_tick is None,
+            )
+            if retry_tick is not None:
+                self._record_tick(
+                    size=retry_tick.batch.size,
+                    trigger=tick.trigger,
+                    op_latencies=[
+                        (t_done - entry.t_submit, entry.size)
+                        for entry in retry_tick.entries
+                    ],
+                    tick_latency=t_done - tick.t_formed,
+                    sim_seconds=0.0,  # counted in the original's sim_delta
+                    plan_seconds=0.0,
+                    t_done=t_done,
+                    failed=retry_error is not None,
+                    last_seq=tick.last_seq,
+                    inflight_done=True,
+                )
+        except Exception as exc:
+            self._recover_completion_fault(tick, exc)
+            return
+        if retry_tick is not None and retry_error is None:
+            try:
+                with self._exec_lock:
+                    self._run_due_maintenance_locked()
+                    self._maybe_snapshot_locked()
+            except Exception as exc:
+                self._note_internal_fault(exc)
+
+    # ------------------------------------------------------------------ #
+    # Supervision, fail-stop, fault injection
+    # ------------------------------------------------------------------ #
+    def _check_fault(self, point: str) -> None:
+        """Fire the configured fault injector at an ``engine.*`` crash
+        point (no-op without an injector)."""
+        faults_mod.check(self._fault_injector, point)
+
+    def _put_exec(self, item) -> bool:
+        """Hand an item to the executor, backing off if the depth-1
+        pipeline queue is full.  Returns False — after failing the item's
+        tickets — when the engine fail-stopped while we waited (a wedged
+        executor would otherwise block the scheduler forever)."""
+        while True:
+            try:
+                self._exec_queue.put(item, timeout=0.05)
+                return True
+            except queue_module.Full:
+                with self._cond:
+                    failed = self._failed_error
+                if failed is not None:
+                    if item is not None:
+                        tick, _ = item
+                        wrapped = EngineInternalError(
+                            "the engine fail-stopped before this tick "
+                            "executed",
+                            cause=failed,
+                        )
+                        for entry in tick.entries:
+                            entry.ticket._fail_if_pending(wrapped)
+                        self._record_tick(
+                            size=tick.batch.size,
+                            trigger=tick.trigger,
+                            op_latencies=[],
+                            tick_latency=0.0,
+                            sim_seconds=0.0,
+                            plan_seconds=0.0,
+                            t_done=time.monotonic(),
+                            failed=True,
+                            last_seq=tick.last_seq,
+                            inflight_done=True,
+                        )
+                    return False
+
+    def _recover_completion_fault(
+        self, tick: _FormedTick, exc: BaseException
+    ) -> None:
+        """Contain a failure in the guarded completion stage (ticket
+        resolution, telemetry): fail the tick's dangling tickets with a
+        typed error, keep the sequence watermark moving so flush() never
+        wedges, and degrade health — the loop itself keeps serving."""
+        wrapped = EngineInternalError(
+            "internal failure while completing a tick; already-resolved "
+            "co-batched tickets keep their answers",
+            cause=exc,
+        )
+        for entry in tick.entries:
+            entry.ticket._fail_if_pending(wrapped)
+        try:
+            self._record_tick(
+                size=tick.batch.size,
+                trigger=tick.trigger,
+                op_latencies=[],
+                tick_latency=0.0,
+                sim_seconds=0.0,
+                plan_seconds=0.0,
+                t_done=time.monotonic(),
+                failed=True,
+                last_seq=tick.last_seq,
+                inflight_done=True,
+            )
+        except Exception:  # pragma: no cover - last-ditch watermark bump
+            with self._cond:
+                self._completed_seq = max(self._completed_seq, tick.last_seq)
+                self._inflight_ticks = max(0, self._inflight_ticks - 1)
+                self._cond.notify_all()
+        self._note_internal_fault(exc)
+
+    def _note_internal_fault(self, exc: BaseException) -> None:
+        """Record an internal (non-client-attributable) fault: degrade
+        health and, past ``max_internal_faults``, fail-stop."""
+        with self._cond:
+            self._health.note_internal_fault()
+            over_limit = (
+                self.resilience.max_internal_faults is not None
+                and self._health.internal_faults
+                >= self.resilience.max_internal_faults
+            )
+        if over_limit:
+            self._fail_engine(exc)
+
+    def _run_supervised(self, body, name: str) -> None:
+        """Thread wrapper: supervise a scheduler/executor loop.
+
+        An unexpected crash never wedges the engine.  Supervised, the
+        loop restarts in place (same thread — no thread leak) after its
+        in-flight work is reaped with typed failures; unsupervised, or
+        past the fault budget, the engine fail-stops.
+        """
+        while True:
+            try:
+                body()
+                return
+            except Exception as exc:
+                with self._cond:
+                    self._health.note_internal_fault()
+                    over_limit = (
+                        self.resilience.max_internal_faults is not None
+                        and self._health.internal_faults
+                        >= self.resilience.max_internal_faults
+                    )
+                    restart = (
+                        self.resilience.supervised
+                        and not over_limit
+                        and self._failed_error is None
+                    )
+                    if restart:
+                        self._loop_restarts[name] += 1
+                self._reap_inflight(exc)
+                if not restart:
+                    self._fail_engine(exc)
+                    return
+
+    def _reap_inflight(self, cause: BaseException) -> None:
+        """Fail the tickets of whatever tick the crashed loop held."""
+        wrapped = EngineInternalError(
+            "engine thread crashed while this tick was in flight",
+            cause=cause,
+        )
+        for held in (self._pending_cut, self._inflight_item):
+            if held is None:
+                continue
+            if isinstance(held, tuple):
+                held = held[0]
+            if isinstance(held, _FormedTick):
+                entries = held.entries
+                size = held.batch.size
+                trigger = held.trigger
+                last_seq = held.last_seq
+            else:  # a cut-but-not-yet-formed entry list
+                entries = held
+                size = sum(e.size for e in entries)
+                trigger = TickTrigger.FLUSH
+                last_seq = max(e.seq for e in entries)
+            any_pending = any(
+                not e.ticket._event.is_set() for e in entries
+            )
+            for entry in entries:
+                entry.ticket._fail_if_pending(wrapped)
+            if any_pending:
+                self._record_tick(
+                    size=size,
+                    trigger=trigger,
+                    op_latencies=[],
+                    tick_latency=0.0,
+                    sim_seconds=0.0,
+                    plan_seconds=0.0,
+                    t_done=time.monotonic(),
+                    failed=True,
+                    last_seq=last_seq,
+                    inflight_done=True,
+                )
+        self._pending_cut = None
+        self._inflight_item = None
+
+    def _fail_engine(self, cause: BaseException) -> None:
+        """Fail-stop: refuse new work, unwedge everyone waiting.
+
+        Every queued and in-flight ticket fails with a typed
+        :class:`EngineInternalError`; blocked submitters and flushers are
+        woken; the sequence watermark jumps to the high mark so
+        :meth:`flush` returns (with the failure surfaced on tickets, not
+        by hanging).  Terminal: :meth:`health` reports FAILED and
+        subsequent submissions are refused.
+        """
+        wrapped = (
+            cause
+            if isinstance(cause, EngineInternalError)
+            else EngineInternalError("engine fail-stopped", cause=cause)
+        )
+        with self._cond:
+            if self._failed_error is None:
+                self._failed_error = wrapped
+            self._health.force_failed()
+            drained = list(self._queue)
+            self._queue.clear()
+            self._queued_ops = 0
+            self._completed_seq = max(self._completed_seq, self._seq)
+            self._inflight_ticks = 0
+            self._pending_shed_seq = 0
+            self._cond.notify_all()
+        for entry in drained:
+            entry.ticket._fail_if_pending(wrapped)
+        self._reap_inflight(cause)
+        # Unwedge the other loop: drain the hand-off queue and plant the
+        # shutdown sentinel (bounded retries — the peer loop may be
+        # putting concurrently, but it checks _failed_error on Full too).
+        for _ in range(100):
+            try:
+                item = self._exec_queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if item is not None:
+                tick, _ = item
+                for entry in tick.entries:
+                    entry.ticket._fail_if_pending(wrapped)
+        for _ in range(100):
+            try:
+                self._exec_queue.put_nowait(None)
+                break
+            except queue_module.Full:
+                try:
+                    item = self._exec_queue.get_nowait()
+                except queue_module.Empty:
+                    continue
+                if item is not None:
+                    tick, _ = item
+                    for entry in tick.entries:
+                        entry.ticket._fail_if_pending(wrapped)
 
     # ------------------------------------------------------------------ #
     # Engine-scheduled maintenance
@@ -869,13 +1651,17 @@ class Engine:
         t_done: float,
         failed: bool = False,
         last_seq: Optional[int] = None,
+        inflight_done: bool = False,
     ) -> None:
         with self._cond:
+            if inflight_done:
+                self._inflight_ticks = max(0, self._inflight_ticks - 1)
             if failed:
                 self._failed_ticks += 1
             else:
                 self._ticks += 1
                 self._ops_done += size
+                self._health.note_clean_tick()
             bucket = _pow2_bucket(size)
             self._tick_sizes[bucket] = self._tick_sizes.get(bucket, 0) + 1
             self._tick_size_sum += size
@@ -891,6 +1677,14 @@ class Engine:
             self._t_last_done = t_done
             if last_seq is not None:
                 self._completed_seq = max(self._completed_seq, last_seq)
+            if self._inflight_ticks == 0 and self._pending_shed_seq:
+                # Shed-only cuts that happened while this tick was in
+                # flight: their seqs are safe to expose to flush() now
+                # that nothing older is still executing.
+                self._completed_seq = max(
+                    self._completed_seq, self._pending_shed_seq
+                )
+                self._pending_shed_seq = 0
             self._cond.notify_all()
 
     def stats(self) -> EngineStats:
@@ -935,6 +1729,14 @@ class Engine:
                     if self._durability is not None
                     else None
                 ),
+                deadline_shed_ops=self._deadline_shed_ops,
+                admission_shed_ops=self._admission_shed_ops,
+                rolled_back_ticks=self._rolled_back_ticks,
+                quarantined_ticks=self._quarantined_ticks,
+                poisoned_entries=self._poisoned_entries,
+                internal_faults=self._health.internal_faults,
+                loop_restarts=sum(self._loop_restarts.values()),
+                health=self._health.state.value,
             )
 
     def _backend_filter_stats(self) -> Optional[Dict[str, float]]:

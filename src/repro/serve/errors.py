@@ -1,0 +1,79 @@
+"""Typed errors of the serving engine's fault domains.
+
+The resilience layer (PR 9) partitions failures by *whose* fault they
+are, so a multi-tenant deployment can react differently to each:
+
+* :class:`EngineClosedError` / :class:`EngineSaturatedError` — admission
+  refusals: the caller's submission was never accepted.
+* :class:`DeadlineExceededError` — the caller's own latency budget ran
+  out while the operation sat in the admission queue; the operation was
+  **not** executed.
+* :class:`PoisonOperationError` — the caller's submission itself is the
+  fault: quarantine re-executed it in isolation from the pre-tick state
+  and it still failed.  Carries the underlying ``cause`` and the
+  offending submission's :class:`~repro.api.ops.OpBatch`.
+* :class:`EngineInternalError` — the engine's fault: an internal thread
+  or a post-commit stage failed and a ticket could not be resolved
+  normally.  Carries the underlying ``cause``; whether the tick's
+  updates committed is visible through the WAL, not through this error.
+
+All subclass :class:`EngineError`, itself a :class:`RuntimeError`, so
+pre-existing ``except RuntimeError`` handlers keep working and a caller
+can catch the whole family with one clause.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class EngineError(RuntimeError):
+    """Base class of every serving-engine error."""
+
+
+class EngineClosedError(EngineError):
+    """The engine is not accepting submissions (not started, or closed)."""
+
+
+class EngineSaturatedError(EngineError):
+    """Admission backpressure: the queue is at ``max_queue_depth`` and the
+    caller asked not to wait (``timeout=0``), or the engine's
+    load-shedding policy rejected the submission under sustained
+    saturation."""
+
+
+class DeadlineExceededError(EngineError):
+    """The submission's ``deadline=`` expired while it waited in the
+    admission queue; it was shed at tick-cut time instead of executed.
+    The backend was never touched by this submission."""
+
+
+class EngineInternalError(EngineError):
+    """An engine-internal failure (a supervised thread crashed, or a
+    post-execute stage such as ticket resolution raised), not a problem
+    with the caller's operations.
+
+    ``cause`` is the underlying exception.  The affected tick may or may
+    not have committed — with durability on, the WAL is the authority.
+    """
+
+    def __init__(self, message: str, cause: Optional[BaseException] = None):
+        super().__init__(
+            message if cause is None else f"{message}: {cause!r}"
+        )
+        self.cause = cause
+
+
+class PoisonOperationError(EngineError):
+    """The submission failed even when re-executed in isolation from the
+    pre-tick state: the operations themselves are the fault (quarantine's
+    verdict), not the co-batched traffic and not the engine.
+
+    ``cause`` is the underlying backend/planner exception; ``batch`` is
+    the offending submission's own :class:`~repro.api.ops.OpBatch`.
+    """
+
+    def __init__(self, cause: BaseException, batch=None):
+        super().__init__(f"poison operation quarantined: {cause!r}")
+        self.cause = cause
+        self.batch = batch

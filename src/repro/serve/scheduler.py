@@ -93,3 +93,37 @@ class TickConfig:
     def time_until_deadline(self, oldest_age: float) -> float:
         """Seconds until the deadline trigger would fire (>= 0)."""
         return max(0.0, self.linger - oldest_age)
+
+
+@dataclass(frozen=True)
+class LoadSheddingPolicy:
+    """Admission shedding under *sustained* saturation.
+
+    Plain backpressure (``max_queue_depth``) makes saturated submitters
+    wait, which is right for a short burst but wrong for a sustained
+    overload: every client ends up blocked behind a queue that never
+    drains below the bound, and queueing delay grows without bound.  This
+    policy trips once the queue has been continuously at the bound for
+    ``grace_s`` seconds; from then on — until the queue drains below the
+    bound — blocked and new submissions fail fast with
+    :class:`~repro.serve.errors.EngineSaturatedError` instead of waiting.
+
+    Like :meth:`TickConfig.trigger` the decision function is *pure* (it
+    looks only at how long saturation has lasted), so the engine and any
+    simulator share one policy.  ``grace_s=0`` sheds on the first
+    saturated admission — the classic fail-fast front door.
+    """
+
+    grace_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not (self.grace_s >= 0):
+            raise ValueError("grace_s must be a non-negative number of seconds")
+
+    def should_shed(self, saturated_for: float) -> bool:
+        """True once saturation has lasted at least ``grace_s`` seconds."""
+        return saturated_for >= self.grace_s
+
+    def time_until_shed(self, saturated_for: float) -> float:
+        """Seconds until :meth:`should_shed` would trip (>= 0)."""
+        return max(0.0, self.grace_s - saturated_for)
