@@ -53,6 +53,8 @@ SCALES = {
                             queries_per_step=1 << 11),
         "durability": dict(num_ops=1 << 14, tick_size=1 << 10, fsync_batch=8),
         "resilience": dict(num_ops=1 << 13, tick_size=1 << 9, fault_every=5),
+        "rebalance": dict(num_ops=1 << 14, tick_size=1 << 9,
+                          shard_counts=(8, 16)),
     },
     "paper": {
         "table1": dict(small_elements=1 << 12, large_elements=1 << 16, batch_size=1 << 9),
@@ -79,6 +81,8 @@ SCALES = {
                             queries_per_step=1 << 13),
         "durability": dict(num_ops=1 << 16, tick_size=1 << 12, fsync_batch=8),
         "resilience": dict(num_ops=1 << 15, tick_size=1 << 11, fault_every=5),
+        "rebalance": dict(num_ops=1 << 16, tick_size=1 << 11,
+                          shard_counts=(8, 16, 32)),
     },
 }
 

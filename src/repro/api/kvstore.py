@@ -250,6 +250,12 @@ class KVStore:
         :attr:`EngineStats.backend_maintenance` via :meth:`stats`."""
         return self.engine.backend_maintenance_stats()
 
+    def rebalance_stats(self) -> Optional[dict]:
+        """The backend's shard-rebalance counters (``None`` for backends
+        without a rebalancing surface); also surfaced on
+        :attr:`EngineStats.backend_rebalance` via :meth:`stats`."""
+        return self.engine.backend_rebalance_stats()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"KVStore(backend={type(self.backend).__name__}, "

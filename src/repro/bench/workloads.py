@@ -165,6 +165,16 @@ class MixedOpConfig:
         otherwise).  **Default-off is bit-exact**: with the knobs at
         their defaults no extra RNG draws happen, so pre-existing
         configs generate the identical stream they always did.
+    zipf_theta / zipf_key_count:
+        Optional Zipf(theta) skew for the *point-keyed* operations
+        (INSERT / DELETE / LOOKUP): when ``zipf_theta > 0``, a support of
+        ``zipf_key_count`` keys spread evenly across the key space is
+        ranked by popularity and each point operation draws rank ``r``
+        with probability proportional to ``r**-theta`` — keyspace skew a
+        range-sharded front-end actually feels (rank 1's neighbourhood is
+        a hot *range*, not just a hot key).  COUNT/RANGE windows are
+        untouched.  Same default-off bit-exactness contract as the
+        hot-key knobs.
     seed:
         RNG seed.
     """
@@ -178,6 +188,8 @@ class MixedOpConfig:
     expected_range_width: int = 8
     hot_key_count: int = 0
     hot_fraction: float = 0.0
+    zipf_theta: float = 0.0
+    zipf_key_count: int = 0
     #: The single top-level seed of the whole workload.  Every random
     #: stream any consumer derives — the per-tick operation draws, a
     #: benchmark's arrival-time process — comes from this one value via
@@ -199,10 +211,22 @@ class MixedOpConfig:
             raise ValueError("hot_fraction must be in [0, 1]")
         if self.hot_fraction > 0 and self.hot_key_count == 0:
             raise ValueError("hot_fraction > 0 requires hot_key_count > 0")
+        if self.zipf_theta < 0:
+            raise ValueError("zipf_theta must be non-negative")
+        if self.zipf_key_count < 0:
+            raise ValueError("zipf_key_count must be non-negative")
+        if self.zipf_theta > 0 and not 2 <= self.zipf_key_count <= self.key_space:
+            raise ValueError(
+                "zipf_theta > 0 requires 2 <= zipf_key_count <= key_space"
+            )
 
     @property
     def hot_keys_enabled(self) -> bool:
         return self.hot_key_count > 0 and self.hot_fraction > 0.0
+
+    @property
+    def zipf_enabled(self) -> bool:
+        return self.zipf_theta > 0.0 and self.zipf_key_count >= 2
 
 
 def derived_rng(seed: int, *stream: int) -> np.random.Generator:
@@ -254,6 +278,16 @@ def make_mixed_batches(config: MixedOpConfig) -> List[OpBatch]:
     window = min(window, config.key_space - 1)
 
     hot_keys = hot_key_set(config)
+    zipf_cdf = None
+    zipf_stride = 0
+    if config.zipf_enabled:
+        # Popularity rank r (0-based) has probability ∝ (r + 1)**-theta;
+        # rank r maps to key r * stride, so rank skew becomes *keyspace*
+        # skew: the popular head occupies one contiguous low range.
+        ranks = np.arange(1, config.zipf_key_count + 1, dtype=np.float64)
+        pmf = ranks ** -config.zipf_theta
+        zipf_cdf = np.cumsum(pmf / pmf.sum())
+        zipf_stride = max(1, config.key_space // config.zipf_key_count)
 
     num_ticks = config.num_ops // config.tick_size
     tick_seeds = np.random.SeedSequence(config.seed).spawn(num_ticks)
@@ -276,6 +310,16 @@ def make_mixed_batches(config: MixedOpConfig) -> List[OpBatch]:
             )
             keys[is_range] = k1
             range_ends[is_range] = np.minimum(k1 + window, MAX_KEY)
+        if zipf_cdf is not None:
+            # Drawn after the base columns, so a config with the knob off
+            # generates the identical stream it always did.  Point
+            # operations only: range windows keep their uniform starts.
+            point_pos = np.flatnonzero(~is_range)
+            if point_pos.size:
+                r = np.searchsorted(
+                    zipf_cdf, rng.random(point_pos.size), side="right"
+                )
+                keys[point_pos] = (r * zipf_stride).astype(np.uint64)
         if hot_keys is not None:
             # Drawn last, so every non-LOOKUP column of the tick is
             # bit-identical to the same config with the knobs off.

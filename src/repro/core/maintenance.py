@@ -428,8 +428,10 @@ def run_compaction(lsm: "GPULSM", k: int) -> Dict[str, object]:
 class MaintenanceAction:
     """What a tripped policy wants to run.
 
-    ``kind`` is ``"cleanup"`` (full rebuild) or ``"compact_levels"``
-    (incremental, with ``levels`` giving the prefix size ``k``);
+    ``kind`` is ``"cleanup"`` (full rebuild), ``"compact_levels"``
+    (incremental, with ``levels`` giving the prefix size ``k``), or
+    ``"rebalance"`` (a sharded front-end's split/merge pass — only
+    meaningful to :meth:`repro.scale.ShardedLSM.run_due_maintenance`);
     ``policy`` names the policy that tripped, for the per-policy trigger
     counters.
     """
@@ -439,8 +441,10 @@ class MaintenanceAction:
     policy: str = "manual"
 
     def __post_init__(self) -> None:
-        if self.kind not in ("cleanup", "compact_levels"):
-            raise ValueError("kind must be 'cleanup' or 'compact_levels'")
+        if self.kind not in ("cleanup", "compact_levels", "rebalance"):
+            raise ValueError(
+                "kind must be 'cleanup', 'compact_levels' or 'rebalance'"
+            )
         if self.kind == "compact_levels" and self.levels < 1:
             raise ValueError("compact_levels actions need levels >= 1")
 

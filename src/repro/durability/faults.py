@@ -51,6 +51,7 @@ FAULT_POINTS = (
     "engine.mid_execute",
     "engine.post_execute_pre_wal",
     "engine.pre_resolve",
+    "rebalance.mid_migrate",
 )
 
 

@@ -94,6 +94,20 @@ def _restore_snapshot(directory: str, backend, manifest: dict) -> None:
                 "the snapshot holds a sharded store but the backend is "
                 f"{type(backend).__name__}"
             )
+        bounds = manifest["frontend"].get("bounds")
+        if bounds is not None:
+            # A rebalanced store was snapshotted under moved boundaries;
+            # adopt them (a no-op when they already match) before the
+            # shape check, so a backend built with the constructor's
+            # initial partition can receive the post-rebalance state.
+            restore = getattr(backend, "restore_boundaries", None)
+            if not callable(restore):
+                raise SnapshotError(
+                    "the snapshot records shard boundaries but the backend "
+                    "cannot restore them"
+                )
+            restore(bounds)
+        shards = backend.shards
         _validate_sharded_shape(backend, manifest["frontend"])
         if len(manifest["structures"]) != len(shards):
             raise SnapshotError(

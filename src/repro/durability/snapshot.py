@@ -223,6 +223,15 @@ def _backend_states(backend) -> Tuple[str, dict, List[dict]]:
             "key_only": backend.key_only,
             "key_domain": backend.key_domain,
         }
+        bounds = getattr(backend, "shard_bounds", None)
+        if bounds is not None:
+            # Rebalancing moves shard boundaries at runtime; the manifest
+            # must record the partition the per-shard states were cut
+            # under, or recovery would zip levels onto the wrong ranges.
+            frontend["bounds"] = [int(b) for b in bounds]
+            frontend["boundary_version"] = int(
+                getattr(backend, "boundary_version", 0)
+            )
         return "sharded", frontend, [shard.snapshot_state() for shard in shards]
     if not hasattr(backend, "snapshot_state"):
         raise SnapshotError(

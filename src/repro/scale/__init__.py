@@ -7,6 +7,9 @@
 * :class:`repro.scale.sharded.ShardedLSM` — a keyspace-sharded front-end
   that routes update batches with one stable multisplit and fans them out
   across independent per-shard GPU LSMs on per-shard simulated devices.
+* :mod:`repro.scale.rebalance` — load-aware shard rebalancing: the
+  :class:`~repro.scale.rebalance.LoadImbalancePolicy` traffic policy, the
+  traffic-weighted split planner, and the online split/merge executor.
 """
 
 from repro.scale.protocol import (
@@ -15,6 +18,11 @@ from repro.scale.protocol import (
     clear_supports_cache,
     simulated_seconds,
     supports,
+)
+from repro.scale.rebalance import (
+    LoadImbalancePolicy,
+    choose_split_key,
+    execute_rebalance,
 )
 from repro.scale.sharded import ShardedLSM
 
@@ -25,4 +33,7 @@ __all__ = [
     "simulated_seconds",
     "supports",
     "ShardedLSM",
+    "LoadImbalancePolicy",
+    "choose_split_key",
+    "execute_rebalance",
 ]

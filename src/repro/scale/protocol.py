@@ -69,16 +69,20 @@ class DictionaryProtocol(Protocol):
 def structural_epoch(dictionary) -> Optional[Tuple]:
     """The dictionary's structural epoch as one comparable token.
 
-    ``("shards", per-shard epoch tuple)`` for a sharded front-end,
-    ``("epoch", counter)`` for a single structure, ``None`` for backends
-    without an epoch.  Two equal tokens mean no level set changed between
-    the two reads — the contract both the planner's snapshot pinning and
-    the durability subsystem's snapshot manifests are built on (a
-    checkpoint records this token as its epoch mark).
+    ``("shards", (boundary version, per-shard epoch...))`` for a sharded
+    front-end — the boundary version leads so a rebalance that rebuilds
+    shards (whose fresh counters could alias an earlier tuple) still
+    changes the token; ``("epoch", counter)`` for a single structure;
+    ``None`` for backends without an epoch.  Two equal tokens mean neither
+    any level set nor the shard partition changed between the two reads —
+    the contract both the planner's snapshot pinning and the durability
+    subsystem's snapshot manifests are built on (a checkpoint records this
+    token as its epoch mark).
     """
     shard_epochs = getattr(dictionary, "shard_epochs", None)
     if shard_epochs is not None:
-        return ("shards", tuple(int(e) for e in shard_epochs))
+        version = int(getattr(dictionary, "boundary_version", 0))
+        return ("shards", (version,) + tuple(int(e) for e in shard_epochs))
     epoch = getattr(dictionary, "epoch", None)
     if epoch is None:
         return None

@@ -1,0 +1,270 @@
+"""Load-aware shard rebalancing: planner, policy, and executor.
+
+The sharded front-end partitions the key domain into contiguous ranges, but
+a fixed partition collapses under skew: a Zipf or hot-tenant workload pins
+one shard while the rest idle, so the parallel speedup degrades toward
+single-shard throughput.  This module closes the loop over the traffic
+signal :class:`~repro.scale.sharded.ShardedLSM` already records:
+
+* :class:`LoadImbalancePolicy` — a cheap host-side
+  :class:`~repro.core.maintenance.MaintenancePolicy` the front-end
+  evaluates in ``run_due_maintenance()`` (which the serving engine polls
+  between ticks, under the executor lock).  It trips when the EWMA
+  per-shard traffic is imbalanced beyond a threshold, gated by a
+  min-traffic floor and a cooldown so a cold or freshly re-shaped store
+  never thrashes.
+* :func:`choose_split_key` — the planner: picks a split point inside the
+  hot shard's range by weighting a sample of the shard's *resident* keys
+  with the shard's in-range traffic histogram and taking the weighted
+  median, so the two children inherit roughly equal traffic (not merely
+  equal key-counts).
+* :func:`execute_rebalance` — the executor: when the shard count is at
+  ``max_shards`` it first merges the coldest adjacent pair to make room,
+  then splits the hottest shard at the planned key.  Both primitives
+  migrate online through the front-end's drain → ``bulk_build`` → boundary
+  swap protocol, which bumps the top-level structural epoch so pinned
+  readers and the epoch-keyed read cache never observe a half-moved range.
+
+Everything here is policy and planning; the answer-preserving migration
+mechanics live on :class:`~repro.scale.sharded.ShardedLSM` itself
+(:meth:`~repro.scale.sharded.ShardedLSM.split_shard` /
+:meth:`~repro.scale.sharded.ShardedLSM.merge_shards`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.maintenance import MaintenanceAction, MaintenancePolicy
+
+#: Cap on resident keys sampled per shard when planning a split point —
+#: the planner strides through the occupied level runs instead of reading
+#: them whole, so planning stays O(sample) regardless of shard size.
+SPLIT_SAMPLE_CAP = 4096
+
+
+class LoadImbalancePolicy(MaintenancePolicy):
+    """Trip a rebalance when per-shard traffic is persistently skewed.
+
+    Parameters
+    ----------
+    imbalance_threshold:
+        Trip when ``max(ewma) / min(ewma)`` exceeds this (a shard with
+        zero EWMA while another is hot counts as infinitely imbalanced).
+        Must be > 1.
+    min_traffic:
+        Operations that must have been routed since the last rebalance
+        before the policy may trip again — a freshly re-shaped (or simply
+        idle) store never thrashes on noise.
+    cooldown_ticks:
+        Polls (the engine polls once per committed tick) to stay quiet
+        after a trip, letting the EWMA re-converge under the new
+        boundaries before the signal is trusted again.
+    """
+
+    name = "load_imbalance"
+
+    def __init__(
+        self,
+        imbalance_threshold: float = 2.0,
+        min_traffic: int = 1024,
+        cooldown_ticks: int = 4,
+    ) -> None:
+        if imbalance_threshold <= 1.0:
+            raise ValueError("imbalance_threshold must be greater than 1")
+        if min_traffic < 0:
+            raise ValueError("min_traffic must be non-negative")
+        if cooldown_ticks < 0:
+            raise ValueError("cooldown_ticks must be non-negative")
+        self.imbalance_threshold = float(imbalance_threshold)
+        self.min_traffic = int(min_traffic)
+        self.cooldown_ticks = int(cooldown_ticks)
+        self._cooldown_left = 0
+
+    def decide(self, sharded) -> Optional[MaintenanceAction]:
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return None
+        if sharded._traffic_since_rebalance < self.min_traffic:
+            return None
+        ewma = sharded._traffic_ewma
+        hottest = float(ewma.max()) if ewma.size else 0.0
+        if hottest <= 0.0:
+            return None
+        coldest = float(ewma.min())
+        ratio = np.inf if coldest <= 0.0 else hottest / coldest
+        if ratio <= self.imbalance_threshold:
+            return None
+        # Something must be actionable: a split needs head-room or a
+        # merge to create it, and both need a range wide enough to cut.
+        can_split = sharded.num_shards < sharded.max_shards
+        can_merge = sharded.num_shards >= 2
+        if not (can_split or can_merge):
+            return None
+        self._cooldown_left = self.cooldown_ticks
+        return MaintenanceAction(kind="rebalance", policy=self.name)
+
+
+def _sample_resident_keys(sharded, s: int) -> np.ndarray:
+    """A strided sample of shard ``s``'s resident *regular* decoded keys,
+    ascending.  Tombstones are skipped — a split key must land where live
+    rows actually are.  Host-side read of the level columns (planning is
+    bookkeeping, not simulated device work)."""
+    shard = sharded.shards[s]
+    encoder = sharded.encoder
+    occupied = shard.occupied_levels()
+    total_words = sum(level.run.keys.size for level in occupied)
+    stride = max(1, total_words // SPLIT_SAMPLE_CAP)
+    samples = []
+    for level in occupied:
+        words = level.run.keys[::stride]
+        regular = encoder.is_regular(words)
+        samples.append(encoder.decode_key(words[regular]).astype(np.int64))
+    if not samples:
+        return np.zeros(0, dtype=np.int64)
+    out = np.concatenate(samples)
+    out.sort()
+    return out
+
+
+def choose_split_key(sharded, s: int) -> Optional[int]:
+    """Plan a split point inside shard ``s``'s range, or ``None``.
+
+    Resident keys are sampled from the shard's occupied level runs and
+    weighted by the shard's in-range traffic histogram (plus a small
+    uniform floor so an all-zero histogram degrades to the key-count
+    median); the weighted median key is the split point, clamped strictly
+    inside ``(lo, hi]``.  An empty shard falls back to the histogram's own
+    weighted median bucket boundary, then to the range midpoint — traffic
+    to a range nobody populated yet still deserves an even cut.
+    """
+    lo, hi = sharded.shard_range(s)
+    if hi - lo < 1:
+        return None  # a one-key range cannot be cut
+    keys = _sample_resident_keys(sharded, s)
+    hist = sharded._traffic_hist[s]
+    buckets = hist.size
+    width = max(hi + 1 - lo, 1)
+    if keys.size >= 2:
+        bucket = np.clip((keys - lo) * buckets // width, 0, buckets - 1)
+        weights = hist[bucket] + 1.0 / buckets  # uniform floor
+        cdf = np.cumsum(weights)
+        cut = int(np.searchsorted(cdf, cdf[-1] / 2.0, side="left"))
+        split = int(keys[min(cut, keys.size - 1)])
+    elif hist.sum() > 0.0:
+        cdf = np.cumsum(hist)
+        b = int(np.searchsorted(cdf, cdf[-1] / 2.0, side="left"))
+        split = lo + (b + 1) * width // buckets
+    else:
+        split = lo + width // 2
+    return int(np.clip(split, lo + 1, hi))
+
+
+def _coldest_adjacent_pair(sharded) -> int:
+    """Index ``s`` minimising the combined EWMA traffic of shards
+    ``s`` and ``s + 1``."""
+    ewma = sharded._traffic_ewma
+    return int(np.argmin(ewma[:-1] + ewma[1:]))
+
+
+#: An executed pass must shrink the predicted hottest-shard load by at
+#: least this factor — the margin that makes the executor a fixed point at
+#: convergence instead of endlessly merge/splitting an already balanced
+#: partition (migrations are not free; a move that buys nothing is worse
+#: than no move).
+IMPROVEMENT_MARGIN = 0.98
+
+
+def _plan_pass(sharded) -> Optional[Tuple[Optional[int], int]]:
+    """Simulate one merge(+)split pass on the EWMA signal; return
+    ``(merge_index_or_None, split_index)`` when the pass is predicted to
+    shrink the hottest shard's load, else ``None``.
+
+    The objective is the *maximum* per-shard load — the quantity that is
+    the sharded front-end's parallel wall clock — not the max/min ratio,
+    which degenerates when some shard legitimately owns no traffic (a
+    hot-tenant keyspace with fewer tenants than shards).
+    """
+    ewma = [float(e) for e in sharded._traffic_ewma]
+    current_max = max(ewma)
+    current_min = min(ewma)
+    if current_max <= 0.0:
+        return None
+    merge_at: Optional[int] = None
+    sim = list(ewma)
+    if sharded.num_shards >= sharded.max_shards:
+        if sharded.num_shards < 2:
+            return None
+        merge_at = _coldest_adjacent_pair(sharded)
+        sim[merge_at : merge_at + 2] = [sim[merge_at] + sim[merge_at + 1]]
+    split_at = int(np.argmax(sim))
+    # A weighted-median split sends roughly half the traffic each way.
+    sim[split_at : split_at + 1] = [sim[split_at] / 2.0] * 2
+    lowers_ceiling = max(sim) < current_max * IMPROVEMENT_MARGIN
+    # Merging cold neighbours can raise the coldest shard's load without
+    # touching the hottest — a ratio improvement that costs no parallel
+    # time; accept those too, as long as the ceiling does not move up.
+    raises_floor = (
+        max(sim) <= current_max
+        and min(sim) > current_min / IMPROVEMENT_MARGIN
+    )
+    if not (lowers_ceiling or raises_floor):
+        return None
+    return merge_at, split_at
+
+
+def execute_rebalance(sharded, trigger: str = "manual") -> Optional[dict]:
+    """Run one rebalance pass: merge to make room if needed, then split.
+
+    The pass is planned first (:func:`_plan_pass`): on the EWMA traffic
+    signal, merging the coldest adjacent pair (only needed when the shard
+    count is at ``max_shards``) and halving the hottest shard must be
+    predicted to shrink the hottest per-shard load — the parallel wall
+    clock — by a real margin, otherwise nothing moves.  That guard is what
+    makes the executor converge: an already balanced partition is a fixed
+    point, not a merge/split oscillation.  Either half may still come back
+    a no-op (e.g. the hot shard's range is a single key); a pass where
+    nothing moved returns ``None`` and does not count as a run.
+
+    The ``rebalance.mid_migrate`` fault point fires between the two halves
+    — a crash there leaves a committed merge without its split, which
+    recovery must (and does) handle like any other boundary state.
+    """
+    plan = _plan_pass(sharded)
+    if plan is None:
+        return None
+    merge_at, _ = plan
+    merged = None
+    split = None
+    if merge_at is not None:
+        merged = sharded.merge_shards(merge_at)
+    injector = getattr(sharded, "fault_injector", None)
+    if injector is not None:
+        injector.check("rebalance.mid_migrate")
+    if sharded.num_shards < sharded.max_shards:
+        # Re-read the signal: the merge shifted indices (and the planned
+        # split target with them).
+        hot = int(np.argmax(sharded._traffic_ewma))
+        split_key = choose_split_key(sharded, hot)
+        if split_key is not None:
+            split = sharded.split_shard(hot, split_key)
+    if merged is None and split is None:
+        return None
+    sharded._rebalance_runs += 1
+    sharded._traffic_since_rebalance = 0
+    parts = [p for p in (merged, split) if p is not None]
+    stats = {
+        "trigger": trigger,
+        "merged": merged,
+        "split": split,
+        "rows_migrated": sum(p["rows_migrated"] for p in parts),
+        "elements_before": sum(p["elements_before"] for p in parts),
+        "elements_after": sum(p["elements_after"] for p in parts),
+        "removed": sum(p["removed"] for p in parts),
+        "padding": sum(p["padding"] for p in parts),
+        "boundary_version": sharded.boundary_version,
+        "num_shards": sharded.num_shards,
+    }
+    return stats

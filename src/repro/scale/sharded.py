@@ -28,6 +28,21 @@ runs on a dedicated router device, so the profiler can report both the
 *serial* cost (sum over devices — total work) and the *parallel* cost
 (router plus the slowest shard — wall clock with all shards running
 concurrently), which is what the sharded benchmark workload reports.
+
+**Load-aware rebalancing.**  The shard ranges are no longer fixed: the
+front-end keeps a sorted boundary array (shard ``s`` owns ``[bounds[s],
+bounds[s+1])``), tracks per-shard routed traffic (lifetime totals, an EWMA
+of per-call counts, and an in-range key histogram — all host-side, free of
+simulated device cost), and exposes :meth:`split_shard` /
+:meth:`merge_shards` primitives that migrate a range online: drain the
+affected shards' live rows with one whole-range ``range_query``, bulk-build
+the replacement shards, swap the boundaries, and bump the top-level
+structural epoch so pinned SNAPSHOT/STRICT readers and the epoch-keyed
+read cache can never observe a half-moved range.  A
+:class:`~repro.scale.rebalance.LoadImbalancePolicy` drives the primitives
+from :meth:`run_due_maintenance`, which the serving engine already polls
+between ticks; with ``rebalance_policy=None`` (the default) nothing moves
+and the front-end behaves bit-identically to the fixed-partition layout.
 """
 
 from __future__ import annotations
@@ -45,6 +60,18 @@ from repro.core.run import SortedRun
 from repro.gpu.device import Device
 from repro.gpu.spec import GPUSpec, K40C_SPEC
 from repro.primitives.multisplit import MAX_WARP_BUCKETS
+
+#: Smoothing factor of the per-shard traffic EWMA: each routed front-end
+#: call contributes this fraction of the new signal, so the estimate
+#: follows a moved hotspot within a handful of calls while staying stable
+#: against single-batch noise.
+TRAFFIC_EWMA_ALPHA = 0.25
+
+#: Buckets of each shard's in-range traffic histogram — the split-point
+#: signal.  32 buckets resolve a split key to ~3% of the shard's range,
+#: plenty for a structure that re-splits every few ticks while staying a
+#: few hundred bytes of host memory per shard.
+TRAFFIC_HIST_BUCKETS = 32
 
 
 def _floor_pow2(n: int) -> int:
@@ -91,6 +118,20 @@ class ShardedLSM:
         :meth:`run_due_maintenance` evaluates it **per shard** — each
         shard reads its own stale-fraction estimate and occupied-level
         count — and compacts only the shards that trip their threshold.
+    rebalance_policy:
+        Optional front-end-level policy (normally a
+        :class:`~repro.scale.rebalance.LoadImbalancePolicy`) evaluated by
+        :meth:`run_due_maintenance` **after** the per-shard pass; when it
+        trips, the rebalance executor splits the hottest shard (merging
+        the coldest adjacent pair first when the shard count is at
+        ``max_shards``).  ``None`` — the default — keeps the partition
+        static and the whole stack bit-identical to the pre-rebalancing
+        front-end.
+    max_shards:
+        Upper bound the rebalancer may grow the shard count to (at most
+        ``32``, the routing multisplit's bucket limit).  Defaults to the
+        initial ``num_shards``, making rebalancing purely a boundary
+        re-shaping at constant shard count.
     """
 
     def __init__(
@@ -108,6 +149,8 @@ class ShardedLSM:
         sort_queries: bool = False,
         sorted_probe_cached_probes: Optional[int] = None,
         maintenance_policy: Optional[MaintenancePolicy] = None,
+        rebalance_policy: Optional[MaintenancePolicy] = None,
+        max_shards: Optional[int] = None,
     ) -> None:
         if not 1 <= num_shards <= MAX_WARP_BUCKETS:
             raise ValueError(
@@ -118,10 +161,20 @@ class ShardedLSM:
             raise ValueError("batch_size must be a power of two and at least 2")
         if shard_batch_size is None:
             shard_batch_size = max(2, _floor_pow2(batch_size // num_shards))
+        if max_shards is None:
+            max_shards = num_shards
+        if not 1 <= max_shards <= MAX_WARP_BUCKETS:
+            raise ValueError(
+                f"max_shards must be in [1, {MAX_WARP_BUCKETS}] "
+                "(one warp-level multisplit routes a batch)"
+            )
         self.num_shards = num_shards
         self.batch_size = batch_size
         self.shard_batch_size = shard_batch_size
         self.key_only = key_only
+        self.spec = spec
+        self.rebalance_policy = rebalance_policy
+        self.max_shards = int(max_shards)
         self.router_device = Device(spec, seed=seed)
         accel_overrides = (
             {}
@@ -143,9 +196,24 @@ class ShardedLSM:
         if not 1 <= key_domain <= self.encoder.max_key + 1:
             raise ValueError("key_domain must be in [1, max_key + 1]")
         self.key_domain = int(key_domain)
-        #: Width of each shard's contiguous key range (the last shard may
-        #: cover a shorter tail of the domain).
+        #: Width of the *initial* fixed partition (the last shard may cover
+        #: a shorter tail of the domain).  Routing goes through the
+        #: boundary array once any boundary has moved.
         self.shard_width = -(-self.key_domain // num_shards)
+        #: Sorted shard boundaries: shard ``s`` owns keys in
+        #: ``[bounds[s], bounds[s+1])``; ``bounds[0] == 0`` and
+        #: ``bounds[-1] == key_domain`` always.
+        self._bounds = np.minimum(
+            np.arange(num_shards + 1, dtype=np.int64) * self.shard_width,
+            self.key_domain,
+        )
+        # While the boundaries still match the fixed-width layout, routing
+        # uses the legacy division arithmetic — bit-exact with the
+        # pre-rebalancing front-end, including its clamping of
+        # out-of-domain query keys.
+        self._uniform_bounds = True
+        self._boundary_version = 0
+        self._epoch_base = 0
         self.shards: List[GPULSM] = [
             GPULSM(
                 config=self.shard_config,
@@ -154,6 +222,34 @@ class ShardedLSM:
             )
             for s in range(num_shards)
         ]
+        # Traffic accounting (host-side bookkeeping only: no simulated
+        # kernel is recorded, so the accounting itself is cost-free and
+        # the default-off stack stays bit-identical).
+        self._traffic_total = np.zeros(num_shards, dtype=np.int64)
+        self._traffic_ewma = np.zeros(num_shards, dtype=np.float64)
+        self._traffic_hist = np.zeros(
+            (num_shards, TRAFFIC_HIST_BUCKETS), dtype=np.float64
+        )
+        self._traffic_since_rebalance = 0
+        # Rebalance lifetime counters (surfaced via rebalance_stats()).
+        self._rebalance_runs = 0
+        self._rebalance_splits = 0
+        self._rebalance_merges = 0
+        self._rebalance_rows_migrated = 0
+        # Lifetime counters of shards a rebalance replaced — the front-end
+        # totals stay monotone across migrations.
+        self._retired_insertions = 0
+        self._retired_deletions = 0
+        self._retired_maintenance = MaintenanceStatsCounter()
+        self._retired_filters = FilterStatsCounter()
+        # Devices freed by merges, reused by later splits; their clocks
+        # keep counting toward the serial profile.
+        self._spare_devices: List[Device] = []
+        self._next_device_seed = seed + 1 + num_shards
+        #: Optional :class:`~repro.durability.faults.FaultInjector` the
+        #: rebalance executor checks at ``rebalance.mid_migrate`` (test-only
+        #: crash point between the merge and split halves of a run).
+        self.fault_injector = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -182,16 +278,40 @@ class ShardedLSM:
 
     @property
     def epoch(self) -> int:
-        """Aggregate structural epoch (sum of the per-shard epochs)."""
-        return sum(self.shard_epochs)
+        """Monotone top-level structural epoch.
+
+        The per-shard epoch sum plus a base the rebalancer advances on
+        every shard replacement: a split/merge rebuilds shards whose fresh
+        counters start near zero, so the raw sum could *alias* an earlier
+        state — the base is adjusted so this property strictly increases
+        across every boundary change as well as every shard cascade.
+        """
+        return self._epoch_base + sum(self.shard_epochs)
+
+    @property
+    def boundary_version(self) -> int:
+        """Monotone counter of shard-boundary changes (splits, merges and
+        recovery restores); part of the structural-epoch token so pinned
+        readers and the read cache observe every re-partition."""
+        return self._boundary_version
+
+    @property
+    def shard_bounds(self) -> Tuple[int, ...]:
+        """The sorted boundary keys: shard ``s`` owns ``[bounds[s],
+        bounds[s+1])``; durability manifests record this tuple."""
+        return tuple(int(b) for b in self._bounds)
 
     @property
     def total_insertions(self) -> int:
-        return sum(shard.total_insertions for shard in self.shards)
+        return self._retired_insertions + sum(
+            shard.total_insertions for shard in self.shards
+        )
 
     @property
     def total_deletions(self) -> int:
-        return sum(shard.total_deletions for shard in self.shards)
+        return self._retired_deletions + sum(
+            shard.total_deletions for shard in self.shards
+        )
 
     @property
     def memory_usage_bytes(self) -> int:
@@ -204,8 +324,10 @@ class ShardedLSM:
 
     def filter_stats(self) -> dict:
         """Aggregated query-filter pruning statistics across every shard
-        (same schema as :meth:`repro.core.lsm.GPULSM.filter_stats`)."""
+        (same schema as :meth:`repro.core.lsm.GPULSM.filter_stats`),
+        including the lifetime counters of shards a rebalance replaced."""
         combined = FilterStatsCounter()
+        combined.merge(self._retired_filters)
         for shard in self.shards:
             shard._filter_stats.filter_memory_bytes = shard.filter_memory_bytes
             combined.merge(shard._filter_stats)
@@ -222,15 +344,76 @@ class ShardedLSM:
 
     def shard_range(self, s: int) -> Tuple[int, int]:
         """Inclusive key range ``[lo, hi]`` owned by shard ``s``."""
-        lo = s * self.shard_width
-        hi = min((s + 1) * self.shard_width, self.key_domain) - 1
-        return lo, hi
+        return int(self._bounds[s]), int(self._bounds[s + 1]) - 1
 
     def _shard_ids(self, keys: np.ndarray) -> np.ndarray:
-        """Shard id per original key (out-of-domain keys clamp to the last
-        shard, where they are correctly never found)."""
-        ids = np.asarray(keys).astype(np.int64) // self.shard_width
-        return np.minimum(ids, self.num_shards - 1)
+        """Shard id per original key (out-of-domain keys clamp to a shard
+        where they are correctly never found)."""
+        keys = np.asarray(keys).astype(np.int64)
+        if self._uniform_bounds:
+            # Fixed-width layout: the legacy arithmetic, bit-exact with
+            # the pre-rebalancing front-end.
+            return np.minimum(keys // self.shard_width, self.num_shards - 1)
+        ids = np.searchsorted(self._bounds, keys, side="right") - 1
+        return np.clip(ids, 0, self.num_shards - 1)
+
+    # ------------------------------------------------------------------ #
+    # Traffic accounting (host-side only — no simulated cost)
+    # ------------------------------------------------------------------ #
+    def _note_traffic(self, counts: np.ndarray) -> None:
+        """Fold one routed call's per-shard operation counts into the
+        lifetime totals and the EWMA load signal."""
+        n = int(counts.sum())
+        if n == 0:
+            return
+        self._traffic_total += counts
+        self._traffic_since_rebalance += n
+        self._traffic_ewma *= 1.0 - TRAFFIC_EWMA_ALPHA
+        self._traffic_ewma += TRAFFIC_EWMA_ALPHA * counts
+
+    def _note_traffic_keys(self, sids: np.ndarray, keys: np.ndarray) -> None:
+        """Key-addressed traffic: totals/EWMA plus the per-shard in-range
+        histogram the split planner samples its split key from."""
+        if sids.size == 0:
+            return
+        counts = np.bincount(sids, minlength=self.num_shards).astype(np.int64)
+        self._note_traffic(counts)
+        keys = np.asarray(keys).astype(np.int64)
+        lo = self._bounds[sids]
+        width = np.maximum(self._bounds[sids + 1] - lo, 1)
+        bucket = np.clip(
+            (keys - lo) * TRAFFIC_HIST_BUCKETS // width,
+            0,
+            TRAFFIC_HIST_BUCKETS - 1,
+        )
+        flat = np.bincount(
+            sids * TRAFFIC_HIST_BUCKETS + bucket,
+            minlength=self.num_shards * TRAFFIC_HIST_BUCKETS,
+        )
+        self._traffic_hist *= 1.0 - TRAFFIC_EWMA_ALPHA
+        self._traffic_hist += TRAFFIC_EWMA_ALPHA * flat.reshape(
+            self.num_shards, TRAFFIC_HIST_BUCKETS
+        )
+
+    def _sids_from_offsets(self, offsets: np.ndarray) -> np.ndarray:
+        """Per-element shard ids of a multisplit-routed batch."""
+        return np.repeat(
+            np.arange(self.num_shards, dtype=np.int64),
+            np.diff(np.asarray(offsets, dtype=np.int64)),
+        )
+
+    def traffic_stats(self) -> dict:
+        """Per-shard routed-traffic accounting: lifetime operation counts,
+        the EWMA load signal, operations routed since the last rebalance,
+        and each shard's simulated clock."""
+        return {
+            "per_shard_ops": [int(t) for t in self._traffic_total],
+            "per_shard_ewma": [float(e) for e in self._traffic_ewma],
+            "ops_since_rebalance": int(self._traffic_since_rebalance),
+            "per_shard_seconds": [
+                float(s.device.simulated_seconds) for s in self.shards
+            ],
+        }
 
     # ------------------------------------------------------------------ #
     # Input validation
@@ -325,6 +508,11 @@ class ShardedLSM:
                 kernel_name="sharded.route.multisplit",
             )
 
+        self._note_traffic_keys(
+            self._sids_from_offsets(offsets),
+            self.encoder.decode_key(routed.keys),
+        )
+
         for s, shard in enumerate(self.shards):
             lo, hi = int(offsets[s]), int(offsets[s + 1])
             # Canonicalisation left one operation per key, so applying a
@@ -408,6 +596,8 @@ class ShardedLSM:
                 kernel_name="sharded.lookup_route.multisplit",
             )
 
+        self._note_traffic_keys(self._sids_from_offsets(offsets), routed.keys)
+
         for s, shard in enumerate(self.shards):
             lo, hi = int(offsets[s]), int(offsets[s + 1])
             if hi == lo:
@@ -438,6 +628,9 @@ class ShardedLSM:
             coalesced_read_bytes=k1.nbytes + k2.nbytes,
             coalesced_write_bytes=(k1.nbytes + k2.nbytes) * self.num_shards,
             work_items=int(k1.size) * self.num_shards,
+        )
+        self._note_traffic(
+            np.array([idx.size for idx, _, _ in per_shard], dtype=np.int64)
         )
         return per_shard
 
@@ -536,6 +729,288 @@ class ShardedLSM:
         return RangeResult(offsets=offsets, keys=out_keys, values=out_values)
 
     # ------------------------------------------------------------------ #
+    # Online shard rebalancing (split / merge primitives)
+    # ------------------------------------------------------------------ #
+    def _drain(
+        self, shard: GPULSM, lo: int, hi: int
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """All live rows of ``shard`` over ``[lo, hi]``: decoded keys
+        ascending, one per distinct live key, tombstones and stale copies
+        dropped.  The whole-range ``range_query`` is the migration's drain
+        cost, recorded on the shard's own device."""
+        empty_vals = (
+            None
+            if self.key_only
+            else np.zeros(0, dtype=self.shard_config.value_dtype)
+        )
+        if hi < lo or shard.num_elements == 0:
+            return np.zeros(0, dtype=np.uint64), empty_vals
+        rr = shard.range_query(
+            np.array([lo], dtype=np.uint64), np.array([hi], dtype=np.uint64)
+        )
+        return rr.keys, rr.values
+
+    def _build_shard(
+        self, device: Device, keys: np.ndarray, values: Optional[np.ndarray]
+    ) -> GPULSM:
+        """A fresh per-shard LSM on ``device``, bulk-built from drained
+        live rows (left empty when the range held none)."""
+        shard = GPULSM(
+            config=self.shard_config, device=device, key_only=self.key_only
+        )
+        if keys.size:
+            shard.bulk_build(keys, None if self.key_only else values)
+        return shard
+
+    def _note_migration(self, rows: int, nbytes: int) -> None:
+        """The cross-device copy of a migration, costed on the router."""
+        self.router_device.record_kernel(
+            "sharded.rebalance.migrate",
+            coalesced_read_bytes=nbytes,
+            coalesced_write_bytes=nbytes,
+            work_items=rows,
+        )
+
+    def _retire_counters(
+        self, old_shards: List[GPULSM], new_shards: List[GPULSM]
+    ) -> None:
+        """Preserve replaced shards' lifetime counters.
+
+        The insertion/deletion offsets subtract whatever the replacement
+        builds already counted, so the front-end aggregates are exactly
+        continuous across a migration."""
+        self._retired_insertions += sum(
+            o.total_insertions for o in old_shards
+        ) - sum(n.total_insertions for n in new_shards)
+        self._retired_deletions += sum(
+            o.total_deletions for o in old_shards
+        ) - sum(n.total_deletions for n in new_shards)
+        for old in old_shards:
+            self._retired_maintenance.merge_dict(old.maintenance_stats())
+            # The retired structure's filter memory is freed with it; only
+            # the probe counters carry over.
+            old._filter_stats.filter_memory_bytes = 0
+            self._retired_filters.merge(old._filter_stats)
+
+    def _after_boundary_change(self, epoch_before: int) -> None:
+        self._boundary_version += 1
+        self._uniform_bounds = False
+        # The top-level epoch must advance strictly: freshly built shards
+        # restart their counters near zero, so the raw per-shard sum could
+        # alias an earlier state.
+        new_sum = sum(shard.epoch for shard in self.shards)
+        self._epoch_base = epoch_before + 1 - new_sum
+
+    def _split_traffic_arrays(self, s: int) -> None:
+        total = int(self._traffic_total[s])
+        ewma = float(self._traffic_ewma[s])
+        self._traffic_total = np.insert(self._traffic_total, s + 1, 0)
+        self._traffic_total[s] = total - total // 2
+        self._traffic_total[s + 1] = total // 2
+        self._traffic_ewma = np.insert(self._traffic_ewma, s + 1, 0.0)
+        self._traffic_ewma[s] = ewma / 2.0
+        self._traffic_ewma[s + 1] = ewma / 2.0
+        # Both children's ranges are new; their histograms restart.
+        self._traffic_hist = np.insert(self._traffic_hist, s + 1, 0.0, axis=0)
+        self._traffic_hist[s] = 0.0
+
+    def _merge_traffic_arrays(self, s: int) -> None:
+        self._traffic_total[s] += self._traffic_total[s + 1]
+        self._traffic_total = np.delete(self._traffic_total, s + 1)
+        self._traffic_ewma[s] += self._traffic_ewma[s + 1]
+        self._traffic_ewma = np.delete(self._traffic_ewma, s + 1)
+        self._traffic_hist[s] = 0.0
+        self._traffic_hist = np.delete(self._traffic_hist, s + 1, axis=0)
+
+    def split_shard(self, s: int, split_key: int) -> dict:
+        """Split shard ``s`` at ``split_key``, online and answer-preserving.
+
+        The left child keeps ``[lo, split_key)`` on the old shard's device;
+        the right child takes ``[split_key, hi]`` on a spare (or fresh)
+        device.  The shard's live rows are drained with one whole-range
+        ``range_query`` and bulk-built into the children — stale copies and
+        tombstones are dropped on the way (a migration is also a cleanup),
+        which can only shrink the resident footprint, never change an
+        answer.  Boundaries swap atomically between batches; the top-level
+        epoch and :attr:`boundary_version` bump so pinned readers and
+        epoch-keyed caches can never observe a half-moved range.
+
+        Returns migration statistics (``rows_migrated``, ``removed``, …).
+        Raises when the split key is not strictly inside the shard's range
+        or the routing multisplit is already at its 32-bucket limit.
+        """
+        if not 0 <= s < self.num_shards:
+            raise ValueError(f"shard id {s} out of range [0, {self.num_shards})")
+        if self.num_shards >= MAX_WARP_BUCKETS:
+            raise RuntimeError(
+                f"cannot split: already at {MAX_WARP_BUCKETS} shards "
+                "(the routing multisplit's bucket limit)"
+            )
+        lo, hi = self.shard_range(s)
+        split_key = int(split_key)
+        if not lo < split_key <= hi:
+            raise ValueError(
+                f"split key {split_key} must lie in ({lo}, {hi}] "
+                f"(strictly inside shard {s}'s range)"
+            )
+        old = self.shards[s]
+        epoch_before = self.epoch
+        elements_before = old.num_elements
+        keys, values = self._drain(old, lo, hi)
+        cut = int(np.searchsorted(keys, split_key))
+        if self._spare_devices:
+            right_device = self._spare_devices.pop()
+        else:
+            right_device = Device(self.spec, seed=self._next_device_seed)
+            self._next_device_seed += 1
+        left = self._build_shard(
+            old.device, keys[:cut], None if values is None else values[:cut]
+        )
+        right = self._build_shard(
+            right_device, keys[cut:], None if values is None else values[cut:]
+        )
+        rows = int(keys.size)
+        self._note_migration(
+            rows, keys.nbytes + (0 if values is None else values.nbytes)
+        )
+        self._retire_counters([old], [left, right])
+        self.shards[s : s + 1] = [left, right]
+        self._bounds = np.insert(self._bounds, s + 1, split_key)
+        self.num_shards += 1
+        self._split_traffic_arrays(s)
+        self._after_boundary_change(epoch_before)
+        self._rebalance_splits += 1
+        self._rebalance_rows_migrated += rows
+        elements_after = left.num_elements + right.num_elements
+        return {
+            "kind": "split",
+            "shard": s,
+            "split_key": split_key,
+            "rows_migrated": rows,
+            "elements_before": elements_before,
+            "elements_after": elements_after,
+            "removed": max(0, elements_before - rows),
+            "padding": max(0, elements_after - rows),
+        }
+
+    def merge_shards(self, s: int) -> dict:
+        """Merge shards ``s`` and ``s + 1`` into one range, online.
+
+        Both shards are drained (live rows only) and bulk-built into one
+        replacement on whichever of the two devices has done more work so
+        far — the parallel profile's max-clock model stays honest; the
+        freed device is parked for the next split to reuse.  Same epoch /
+        boundary-version contract as :meth:`split_shard`.
+        """
+        if not 0 <= s < self.num_shards - 1:
+            raise ValueError(
+                f"merge_shards needs adjacent shards; id {s} out of range "
+                f"[0, {self.num_shards - 1})"
+            )
+        a, b = self.shards[s], self.shards[s + 1]
+        epoch_before = self.epoch
+        elements_before = a.num_elements + b.num_elements
+        ka, va = self._drain(a, *self.shard_range(s))
+        kb, vb = self._drain(b, *self.shard_range(s + 1))
+        keys = np.concatenate([ka, kb])
+        values = None if self.key_only else np.concatenate([va, vb])
+        if a.device.simulated_seconds >= b.device.simulated_seconds:
+            keep_device, free_device = a.device, b.device
+        else:
+            keep_device, free_device = b.device, a.device
+        merged = self._build_shard(keep_device, keys, values)
+        rows = int(keys.size)
+        self._note_migration(
+            rows, keys.nbytes + (0 if values is None else values.nbytes)
+        )
+        self._retire_counters([a, b], [merged])
+        self._spare_devices.append(free_device)
+        self.shards[s : s + 2] = [merged]
+        self._bounds = np.delete(self._bounds, s + 1)
+        self.num_shards -= 1
+        self._merge_traffic_arrays(s)
+        self._after_boundary_change(epoch_before)
+        self._rebalance_merges += 1
+        self._rebalance_rows_migrated += rows
+        return {
+            "kind": "merge",
+            "shard": s,
+            "rows_migrated": rows,
+            "elements_before": elements_before,
+            "elements_after": merged.num_elements,
+            "removed": max(0, elements_before - rows),
+            "padding": max(0, merged.num_elements - rows),
+        }
+
+    def restore_boundaries(self, bounds: Sequence[int]) -> None:
+        """Adopt recovered shard boundaries (recovery into an empty store).
+
+        Durability manifests record :attr:`shard_bounds`; recovery calls
+        this before restoring the per-shard levels so a backend built with
+        the original constructor shape can receive a post-rebalance
+        snapshot.  A no-op when the boundaries already match (recovering a
+        never-rebalanced store stays bit-identical); otherwise the shard
+        list is rebuilt empty at the recovered count and the epoch /
+        boundary-version contract applies as for any boundary change.
+        """
+        bounds_arr = np.asarray(list(bounds), dtype=np.int64)
+        if bounds_arr.ndim != 1 or bounds_arr.size < 2:
+            raise ValueError("bounds must hold at least two boundary keys")
+        if int(bounds_arr[0]) != 0 or int(bounds_arr[-1]) != self.key_domain:
+            raise ValueError(
+                f"bounds must cover exactly [0, {self.key_domain}); got "
+                f"[{int(bounds_arr[0])}, {int(bounds_arr[-1])})"
+            )
+        if np.any(np.diff(bounds_arr) < 0):
+            raise ValueError("bounds must be non-decreasing")
+        n = int(bounds_arr.size) - 1
+        if not 1 <= n <= MAX_WARP_BUCKETS:
+            raise ValueError(
+                f"bounds describe {n} shards; must be in [1, {MAX_WARP_BUCKETS}]"
+            )
+        if np.array_equal(bounds_arr, self._bounds):
+            return
+        if self.num_elements:
+            raise RuntimeError(
+                "restore_boundaries requires an empty sharded front-end"
+            )
+        epoch_before = self.epoch
+        devices = [shard.device for shard in self.shards] + self._spare_devices
+        while len(devices) < n:
+            devices.append(Device(self.spec, seed=self._next_device_seed))
+            self._next_device_seed += 1
+        self._spare_devices = devices[n:]
+        self.shards = [
+            GPULSM(
+                config=self.shard_config,
+                device=devices[i],
+                key_only=self.key_only,
+            )
+            for i in range(n)
+        ]
+        self.num_shards = n
+        self._bounds = bounds_arr
+        self._traffic_total = np.zeros(n, dtype=np.int64)
+        self._traffic_ewma = np.zeros(n, dtype=np.float64)
+        self._traffic_hist = np.zeros((n, TRAFFIC_HIST_BUCKETS), dtype=np.float64)
+        self._after_boundary_change(epoch_before)
+
+    def rebalance_stats(self) -> dict:
+        """Lifetime rebalance counters plus the current traffic breakdown
+        (surfaced as ``EngineStats.backend_rebalance`` by the engine)."""
+        return {
+            "rebalance_runs": self._rebalance_runs,
+            "splits": self._rebalance_splits,
+            "merges": self._rebalance_merges,
+            "rows_migrated": self._rebalance_rows_migrated,
+            "boundary_version": self._boundary_version,
+            "num_shards": self.num_shards,
+            "max_shards": self.max_shards,
+            "shard_traffic_ops": [int(t) for t in self._traffic_total],
+            "shard_traffic_ewma": [float(e) for e in self._traffic_ewma],
+        }
+
+    # ------------------------------------------------------------------ #
     # Maintenance and profiling
     # ------------------------------------------------------------------ #
     def _resolve_shard_ids(self, shards: Optional[Sequence[int]]) -> List[int]:
@@ -589,28 +1064,56 @@ class ShardedLSM:
         )
 
     def run_due_maintenance(self) -> Optional[dict]:
-        """Evaluate the maintenance policy **per shard**; run it only on
-        the shards that trip.
+        """Evaluate the maintenance policy **per shard**, then the
+        front-end's rebalance policy.
 
         Each shard's policy decision reads that shard's own counters
         (stale fraction, occupied levels), so a skewed keyspace compacts
-        exactly the hot shards.  Returns the aggregated statistics of the
-        shards that ran (with their ids under ``"shards"``), or ``None``
-        when no shard was due.
+        exactly the hot shards.  When a :attr:`rebalance_policy` is
+        configured it is evaluated afterwards against the front-end's
+        traffic signal; a tripped policy runs the
+        :func:`~repro.scale.rebalance.execute_rebalance` split/merge pass,
+        whose statistics land under ``"rebalance"`` in the returned dict.
+        Returns the aggregated statistics of whatever ran, or ``None``
+        when nothing was due.
         """
         ran: Dict[int, dict] = {}
         for s, shard in enumerate(self.shards):
             stats = shard.run_due_maintenance()
             if stats is not None:
                 ran[s] = stats
-        if not ran:
-            return None
-        return self._aggregate_maintenance(ran)
+        totals = self._aggregate_maintenance(ran) if ran else None
+        if self.rebalance_policy is not None:
+            action = self.rebalance_policy.decide(self)
+            if action is not None and action.kind == "rebalance":
+                from repro.scale.rebalance import execute_rebalance
+
+                reb = execute_rebalance(self, trigger=action.policy)
+                if reb is not None:
+                    if totals is None:
+                        totals = {
+                            "elements_before": 0,
+                            "elements_after": 0,
+                            "removed": 0,
+                            "padding": 0,
+                            "shards": [],
+                        }
+                    for key in (
+                        "elements_before",
+                        "elements_after",
+                        "removed",
+                        "padding",
+                    ):
+                        totals[key] += reb[key]
+                    totals["rebalance"] = reb
+        return totals
 
     def maintenance_stats(self) -> dict:
         """Merged lifetime maintenance counters across every shard (same
-        schema as :meth:`repro.core.lsm.GPULSM.maintenance_stats`)."""
+        schema as :meth:`repro.core.lsm.GPULSM.maintenance_stats`),
+        including counters of shards a rebalance replaced."""
         combined = MaintenanceStatsCounter()
+        combined.merge_dict(self._retired_maintenance.as_dict())
         for shard in self.shards:
             combined.merge_dict(shard.maintenance_stats())
         return combined.as_dict()
@@ -620,9 +1123,13 @@ class ShardedLSM:
     # ------------------------------------------------------------------ #
     def snapshot_state(self) -> dict:
         """Every shard's :meth:`~repro.core.lsm.GPULSM.snapshot_state`, in
-        shard order — the whole front-end's resident state (the capture
-        the serving engine's transactional ticks roll back to)."""
-        return {"shards": [shard.snapshot_state() for shard in self.shards]}
+        shard order, plus the live shard boundaries — the whole front-end's
+        resident state (the capture the serving engine's transactional
+        ticks roll back to)."""
+        return {
+            "shards": [shard.snapshot_state() for shard in self.shards],
+            "bounds": [int(b) for b in self._bounds],
+        }
 
     def rollback_to(self, state: dict) -> None:
         """Roll every shard back to a :meth:`snapshot_state` capture.
@@ -632,8 +1139,22 @@ class ShardedLSM:
         verbatim (:meth:`repro.core.lsm.GPULSM.rollback_to`) and bumps its
         epoch, which moves :attr:`shard_epochs` — pinned readers and
         epoch-keyed caches notice, answers match the capture point.
+
+        A rollback can never span a rebalance: rebalancing runs in the
+        between-tick maintenance poll, after the tick it follows has
+        committed, while a transactional capture is taken at tick start
+        and rolled back before that poll.  Crossing captures are rejected
+        loudly rather than silently mis-zipping shards onto moved ranges.
         """
         shard_states = state["shards"]
+        bounds = state.get("bounds")
+        if bounds is not None and [int(b) for b in bounds] != [
+            int(b) for b in self._bounds
+        ]:
+            raise RuntimeError(
+                "rollback_to cannot cross a shard-boundary change: the "
+                "capture was taken under different shard bounds"
+            )
         if len(shard_states) != len(self.shards):
             raise ValueError(
                 f"snapshot has {len(shard_states)} shards, "
@@ -643,7 +1164,8 @@ class ShardedLSM:
             shard.rollback_to(sub)
 
     def shard_stats(self) -> List[dict]:
-        """Per-shard occupancy and profiler counters (for the bench report)."""
+        """Per-shard occupancy, profiler and traffic counters (for the
+        bench report and the rebalance planner's diagnostics)."""
         rows = []
         for s, shard in enumerate(self.shards):
             lo, hi = self.shard_range(s)
@@ -657,6 +1179,8 @@ class ShardedLSM:
                     "total_insertions": shard.total_insertions,
                     "total_deletions": shard.total_deletions,
                     "simulated_seconds": shard.device.simulated_seconds,
+                    "traffic_ops": int(self._traffic_total[s]),
+                    "traffic_ewma": float(self._traffic_ewma[s]),
                 }
             )
         return rows
@@ -664,17 +1188,19 @@ class ShardedLSM:
     def profile(self) -> dict:
         """Aggregate timing across the router and all shard devices.
 
-        ``serial_seconds`` is the total simulated work; ``parallel_seconds``
+        ``serial_seconds`` is the total simulated work (devices a merge
+        parked included — their history is real work); ``parallel_seconds``
         models all shards running concurrently (router time plus the
         slowest shard) and is what the effective sharded throughput is
         measured against.
         """
         shard_seconds = [s.device.simulated_seconds for s in self.shards]
+        spare_seconds = sum(d.simulated_seconds for d in self._spare_devices)
         router = self.router_device.simulated_seconds
         return {
             "router_seconds": router,
             "shard_seconds": shard_seconds,
-            "serial_seconds": router + float(np.sum(shard_seconds)),
+            "serial_seconds": router + float(np.sum(shard_seconds)) + spare_seconds,
             "parallel_seconds": router + (max(shard_seconds) if shard_seconds else 0.0),
         }
 
@@ -683,3 +1209,5 @@ class ShardedLSM:
         self.router_device.reset_counters()
         for shard in self.shards:
             shard.device.reset_counters()
+        for device in self._spare_devices:
+            device.reset_counters()

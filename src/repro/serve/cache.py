@@ -129,14 +129,17 @@ class ReadCachedBackend:
     def _epoch_token(self):
         """The structural-state token answers are keyed on.
 
-        A sharded backend's tuple of per-shard epochs (its summed
-        ``epoch`` could in principle alias two distinct states); a single
-        structure's ``epoch`` counter; ``None`` when the backend has
-        neither — in which case nothing is ever cached.
+        A sharded backend's boundary version plus its tuple of per-shard
+        epochs (a summed ``epoch`` could in principle alias two distinct
+        states, and a rebalance rebuilds shards whose fresh counters could
+        alias an earlier tuple — the boundary version disambiguates); a
+        single structure's ``epoch`` counter; ``None`` when the backend
+        has neither — in which case nothing is ever cached.
         """
         shard_epochs = getattr(self._inner, "shard_epochs", None)
         if shard_epochs is not None:
-            return tuple(shard_epochs)
+            version = int(getattr(self._inner, "boundary_version", 0))
+            return (version, tuple(shard_epochs))
         return getattr(self._inner, "epoch", None)
 
     def _maybe_invalidate(self) -> None:

@@ -294,6 +294,11 @@ class EngineStats:
     #: The health state machine's verdict: ``ok`` / ``degraded`` /
     #: ``failed``.
     health: str = HealthState.OK.value
+    #: Shard-rebalance counters of a sharded backend
+    #: (``ShardedLSM.rebalance_stats``: rebalance runs, splits/merges,
+    #: rows migrated, boundary version, per-shard traffic), or ``None``
+    #: for backends without a rebalancing surface.
+    backend_rebalance: Optional[Dict[str, object]] = None
 
     @property
     def ops_per_second(self) -> float:
@@ -1637,6 +1642,16 @@ class Engine:
             return None
         return stats_fn()
 
+    def backend_rebalance_stats(self) -> Optional[Dict[str, object]]:
+        """The backend's shard-rebalance counters (``None`` when the
+        backend has no rebalancing surface) — the same dict :meth:`stats`
+        snapshots as ``backend_rebalance``; the
+        :class:`~repro.api.kvstore.KVStore` facade forwards to this."""
+        stats_fn = getattr(self.backend, "rebalance_stats", None)
+        if not callable(stats_fn):
+            return None
+        return stats_fn()
+
     # ------------------------------------------------------------------ #
     # Telemetry
     # ------------------------------------------------------------------ #
@@ -1737,6 +1752,7 @@ class Engine:
                 internal_faults=self._health.internal_faults,
                 loop_restarts=sum(self._loop_restarts.values()),
                 health=self._health.state.value,
+                backend_rebalance=self.backend_rebalance_stats(),
             )
 
     def _backend_filter_stats(self) -> Optional[Dict[str, float]]:

@@ -16,6 +16,7 @@ from repro.bench.workloads import (
     make_mixed_batches,
     make_workload,
 )
+from repro.api.ops import OpCode
 from repro.core.encoding import MAX_KEY
 from repro.gpu.spec import K40C_SPEC
 
@@ -126,6 +127,114 @@ class TestMixedStreamSeeding:
         c = derived_rng(7, 2).integers(0, 1 << 30, 8)
         np.testing.assert_array_equal(a, b)
         assert not np.array_equal(a, c)
+
+
+class TestZipfMixedStream:
+    """The Zipf(theta) point-key skew of the rebalancing benchmark."""
+
+    _ZIPF = dict(zipf_theta=1.0, zipf_key_count=64, key_space=1 << 16)
+
+    def test_deterministic_for_seed(self):
+        config = MixedOpConfig(
+            num_ops=1 << 10, tick_size=1 << 7, seed=13, **self._ZIPF
+        )
+        for a, b in zip(make_mixed_batches(config), make_mixed_batches(config)):
+            np.testing.assert_array_equal(a.opcodes, b.opcodes)
+            np.testing.assert_array_equal(a.keys, b.keys)
+            np.testing.assert_array_equal(a.values, b.values)
+            np.testing.assert_array_equal(a.range_ends, b.range_ends)
+
+    def test_off_by_default_is_bit_exact(self):
+        """``zipf_theta=0`` must leave the stream bit-identical to a
+        config that never mentions the knobs (no stray RNG draws)."""
+        base = dict(num_ops=1 << 9, tick_size=1 << 7, seed=41)
+        legacy = make_mixed_batches(MixedOpConfig(**base))
+        explicit_off = make_mixed_batches(
+            MixedOpConfig(zipf_theta=0.0, zipf_key_count=0, **base)
+        )
+        for a, b in zip(legacy, explicit_off):
+            np.testing.assert_array_equal(a.opcodes, b.opcodes)
+            np.testing.assert_array_equal(a.keys, b.keys)
+            np.testing.assert_array_equal(a.values, b.values)
+            np.testing.assert_array_equal(a.range_ends, b.range_ends)
+
+    def test_skew_touches_point_keys_only(self):
+        """Turning the skew on re-draws point-op keys but must not
+        perturb the opcode sequence, the values, or the range windows."""
+        base = dict(num_ops=1 << 9, tick_size=1 << 7, seed=41,
+                    key_space=self._ZIPF["key_space"])
+        off = make_mixed_batches(MixedOpConfig(**base))
+        on = make_mixed_batches(
+            MixedOpConfig(zipf_theta=1.0, zipf_key_count=64, **base)
+        )
+        diverged = False
+        for a, b in zip(off, on):
+            np.testing.assert_array_equal(a.opcodes, b.opcodes)
+            np.testing.assert_array_equal(a.values, b.values)
+            is_range = (a.opcodes == OpCode.RANGE) | (
+                a.opcodes == OpCode.COUNT
+            )
+            np.testing.assert_array_equal(a.keys[is_range], b.keys[is_range])
+            np.testing.assert_array_equal(
+                a.range_ends[is_range], b.range_ends[is_range]
+            )
+            diverged |= not np.array_equal(a.keys, b.keys)
+        assert diverged, "the skew never moved a point key"
+
+    def test_support_and_popularity_shape(self):
+        """Point keys land on the evenly spread support and follow the
+        Zipf head: rank 0 is the most popular key and the lowest-ranked
+        eighth of the support concentrates most of the point traffic."""
+        config = MixedOpConfig(
+            num_ops=1 << 13, tick_size=1 << 10, seed=3, **self._ZIPF
+        )
+        stride = config.key_space // config.zipf_key_count
+        point_keys = np.concatenate(
+            [
+                b.keys[(b.opcodes != OpCode.RANGE) & (b.opcodes != OpCode.COUNT)]
+                for b in make_mixed_batches(config)
+            ]
+        )
+        assert np.all(point_keys % stride == 0)
+        assert np.all(point_keys < config.zipf_key_count * stride)
+        counts = np.bincount(
+            (point_keys // stride).astype(np.int64),
+            minlength=config.zipf_key_count,
+        )
+        assert counts.argmax() == 0
+        head = counts[: config.zipf_key_count // 8].sum()
+        assert head / counts.sum() > 0.5
+
+    def test_theta_steepens_the_head(self):
+        base = dict(num_ops=1 << 12, tick_size=1 << 10, seed=3,
+                    zipf_key_count=64, key_space=1 << 16)
+
+        def head_share(theta):
+            config = MixedOpConfig(zipf_theta=theta, **base)
+            stride = config.key_space // config.zipf_key_count
+            keys = np.concatenate(
+                [
+                    b.keys[(b.opcodes != OpCode.RANGE) & (b.opcodes != OpCode.COUNT)]
+                    for b in make_mixed_batches(config)
+                ]
+            )
+            return np.mean(keys // stride == 0)
+
+        assert head_share(1.8) > head_share(1.0) > head_share(0.5)
+
+    def test_validation(self):
+        base = dict(num_ops=1 << 9, tick_size=1 << 7)
+        with pytest.raises(ValueError, match="zipf_theta"):
+            MixedOpConfig(zipf_theta=-0.5, **base)
+        with pytest.raises(ValueError, match="zipf_key_count"):
+            MixedOpConfig(zipf_key_count=-1, **base)
+        with pytest.raises(ValueError, match="zipf_key_count"):
+            MixedOpConfig(zipf_theta=1.0, zipf_key_count=1, **base)
+        with pytest.raises(ValueError, match="zipf_key_count"):
+            MixedOpConfig(
+                zipf_theta=1.0, zipf_key_count=1 << 20, key_space=1 << 10,
+                **base,
+            )
 
 
 class TestRateSummary:

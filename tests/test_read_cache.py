@@ -135,6 +135,36 @@ class TestReadCachedBackend:
         assert int(got.values[0]) == 77
         assert proxy.cache_stats()["invalidations"] == 1
 
+    def test_rebalance_invalidates_despite_shard_epoch_aliasing(self):
+        """Regression: a rebalance rebuilds shards whose fresh per-shard
+        epochs can reproduce an earlier tuple exactly (here (1, 1) both
+        before and after a merge+split round trip).  The cache token must
+        carry the boundary version so the aliased tuple still invalidates,
+        and the backend's top-level epoch must stay strictly monotone."""
+        sharded = ShardedLSM(num_shards=2, batch_size=64, key_domain=1 << 10)
+        keys = np.arange(0, 1 << 10, 4, dtype=np.uint64)
+        sharded.bulk_build(keys, keys * 3)
+        assert sharded.shard_epochs == (1, 1)
+        epoch_before = sharded.epoch
+        proxy = ReadCachedBackend(sharded, capacity=64)
+        q = np.array([8, 512], dtype=np.uint64)
+        proxy.lookup(q)
+        proxy.lookup(q)
+        assert proxy.cache_stats()["hits"] == len(q)
+        # Merge the two shards, then split again: each replacement shard
+        # was built with exactly one bulk_build, so the per-shard epoch
+        # tuple aliases the pre-rebalance state...
+        sharded.merge_shards(0)
+        sharded.split_shard(0, 256)
+        assert sharded.shard_epochs == (1, 1)
+        # ...but the boundary version moved, so the cache must invalidate
+        # rather than serve entries pinned to the old partition.
+        got = proxy.lookup(q)
+        assert proxy.cache_stats()["invalidations"] == 1
+        np.testing.assert_array_equal(got.found, np.array([True, True]))
+        np.testing.assert_array_equal(got.values, q * 3)
+        assert sharded.epoch > epoch_before
+
 
 class TestSupportsThroughProxy:
     def test_declared_path_not_poisoned_by_wrapper_type(self):

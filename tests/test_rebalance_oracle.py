@@ -1,0 +1,274 @@
+"""Hypothesis oracle: online shard rebalancing is answer-invariant.
+
+Random mixed ticks (insert / delete / lookup / count / range, under both
+the SNAPSHOT and STRICT consistency semantics) drive a
+:class:`~repro.scale.sharded.ShardedLSM` of 2..8 shards with the full
+query-acceleration stack on (fence pointers + Bloom filters) through the
+:class:`~repro.api.kvstore.KVStore` facade, against a plain Python dict
+oracle.  Between ticks the trace interleaves rebalancing three ways:
+
+* **forced splits** — ``split_shard`` at an arbitrary in-range key;
+* **forced merges** — ``merge_shards`` of an arbitrary adjacent pair;
+* **policy passes** — :func:`~repro.scale.rebalance.execute_rebalance`
+  (and the engine's own between-tick poll of the attached
+  :class:`~repro.scale.rebalance.LoadImbalancePolicy`, which fires
+  whenever the random trace happens to be skewed).
+
+After every step the boundary invariants must hold (bounds start at 0,
+end at ``key_domain``, non-decreasing, one per shard plus one) and every
+query kind must agree with the oracle — rebalancing moves rows between
+shards, it never changes an answer.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Consistency, KVStore, Op, OpBatch
+from repro.scale import LoadImbalancePolicy, ShardedLSM
+from repro.scale.rebalance import execute_rebalance
+
+KEY_SPACE = 64
+BATCH = 16
+
+key_st = st.integers(min_value=0, max_value=KEY_SPACE - 1)
+op_st = st.one_of(
+    st.tuples(st.just("insert"), key_st, st.integers(0, 999)),
+    st.tuples(st.just("delete"), key_st, st.just(0)),
+    st.tuples(st.just("lookup"), key_st, st.just(0)),
+    st.tuples(st.just("count"), key_st, key_st),
+    st.tuples(st.just("range"), key_st, key_st),
+)
+#: Rebalance action between ticks: nothing, an executor pass, a forced
+#: split (shard and key drawn as fractions of whatever the current
+#: partition is), or a forced merge of an adjacent pair.
+action_st = st.one_of(
+    st.none(),
+    st.just("policy"),
+    st.tuples(st.just("split"), st.integers(0, 999), st.integers(0, 999)),
+    st.tuples(st.just("merge"), st.integers(0, 999)),
+)
+step_st = st.tuples(
+    st.lists(op_st, min_size=1, max_size=12),
+    st.booleans(),  # strict consistency?
+    action_st,
+)
+trace_st = st.lists(step_st, min_size=1, max_size=6)
+
+
+def _build_op(spec):
+    kind, a, b = spec
+    if kind == "insert":
+        return Op.insert(a, b)
+    if kind == "delete":
+        return Op.delete(a)
+    if kind == "lookup":
+        return Op.lookup(a)
+    if kind == "count":
+        return Op.count(min(a, b), max(a, b))
+    return Op.range_query(min(a, b), max(a, b))
+
+
+def _answer(op, state):
+    from repro.api import OpCode
+
+    if op.code is OpCode.LOOKUP:
+        return ("lookup", state.get(op.key))
+    if op.code is OpCode.COUNT:
+        return ("count", sum(1 for k in state if op.key <= k <= op.range_end))
+    return (
+        "range",
+        sorted((k, v) for k, v in state.items() if op.key <= k <= op.range_end),
+    )
+
+
+def _reference_apply(state, ops, consistency):
+    """Expected per-op answers; mutates ``state`` like the tick would
+    (SNAPSHOT: queries see the pre-tick state, a delete dominates its
+    tick, the first insert of a key wins; STRICT: arrival order)."""
+    from repro.api import OpCode
+
+    expected = [None] * len(ops)
+    if consistency is Consistency.STRICT:
+        for i, op in enumerate(ops):
+            if op.code is OpCode.INSERT:
+                state[op.key] = op.value
+            elif op.code is OpCode.DELETE:
+                state.pop(op.key, None)
+            else:
+                expected[i] = _answer(op, state)
+        return expected
+    snapshot = dict(state)
+    for i, op in enumerate(ops):
+        if op.code.is_query:
+            expected[i] = _answer(op, snapshot)
+    deleted = {op.key for op in ops if op.code is OpCode.DELETE}
+    first_insert = {}
+    for op in ops:
+        if op.code is OpCode.INSERT and op.key not in first_insert:
+            first_insert[op.key] = op.value
+    for key in deleted:
+        state.pop(key, None)
+    for key, value in first_insert.items():
+        if key not in deleted:
+            state[key] = value
+    return expected
+
+
+def _assert_matches(result, expected, context):
+    for i, exp in enumerate(expected):
+        res = result.result(i)
+        assert res.ok, f"{context}: op {i} not ok: {res}"
+        if exp is None:
+            continue
+        kind, want = exp
+        if kind == "lookup":
+            if want is None:
+                assert not res.found, f"{context}: op {i} unexpected hit"
+            else:
+                assert res.found and res.value == want, f"{context}: op {i}"
+        elif kind == "count":
+            assert res.count == want, f"{context}: op {i}"
+        else:
+            got = [(int(k), int(v)) for k, v in zip(res.keys, res.values)]
+            assert got == want, f"{context}: op {i}"
+
+
+def _apply_action(backend, action):
+    """Perform the drawn rebalance action, skipping shapes the current
+    partition makes impossible (a width-1 shard cannot split; a single
+    shard cannot merge)."""
+    if action is None:
+        return
+    if action == "policy":
+        execute_rebalance(backend, trigger="oracle")
+        return
+    kind = action[0]
+    if kind == "split":
+        _, a, b = action
+        s = min(a * backend.num_shards // 1000, backend.num_shards - 1)
+        lo, hi = backend.shard_range(s)
+        if hi <= lo or backend.num_shards >= 32:
+            return
+        key = lo + 1 + b * (hi - lo) // 1000
+        backend.split_shard(s, min(max(key, lo + 1), hi))
+    else:
+        _, a = action
+        if backend.num_shards < 2:
+            return
+        backend.merge_shards(min(a * (backend.num_shards - 1) // 1000,
+                                 backend.num_shards - 2))
+
+
+def _check_bounds(backend, context):
+    bounds = backend.shard_bounds
+    assert bounds[0] == 0, context
+    assert bounds[-1] == backend.key_domain, context
+    assert all(x <= y for x, y in zip(bounds, bounds[1:])), context
+    assert len(bounds) == backend.num_shards + 1, context
+    assert 1 <= backend.num_shards <= 32, context
+
+
+def _check_full_agreement(backend, state, context):
+    probe = np.arange(KEY_SPACE, dtype=np.uint64)
+    res = backend.lookup(probe)
+    for k in range(KEY_SPACE):
+        if k in state:
+            assert res.found[k], f"{context}: key {k} lost"
+            assert int(res.values[k]) == state[k], f"{context}: key {k}"
+        else:
+            assert not res.found[k], f"{context}: phantom key {k}"
+    lo = np.array([0], dtype=np.uint64)
+    hi = np.array([KEY_SPACE - 1], dtype=np.uint64)
+    assert int(backend.count(lo, hi)[0]) == len(state), context
+    rr = backend.range_query(lo, hi)
+    keys0, vals0 = rr.query_slice(0)
+    got = [(int(k), int(v)) for k, v in zip(keys0, vals0)]
+    assert got == sorted(state.items()), context
+
+
+def run_trace(num_shards, trace):
+    policy = LoadImbalancePolicy(
+        imbalance_threshold=1.2, min_traffic=1, cooldown_ticks=0
+    )
+    backend = ShardedLSM(
+        num_shards,
+        batch_size=BATCH,
+        key_domain=KEY_SPACE,
+        seed=7,
+        enable_fences=True,
+        bloom_bits_per_key=10,
+        rebalance_policy=policy,
+        max_shards=min(num_shards + 4, 16),
+    )
+    store = KVStore(backend=backend)
+    state = {}
+    epoch_last = backend.epoch
+    for step, (op_specs, strict, action) in enumerate(trace):
+        consistency = Consistency.STRICT if strict else Consistency.SNAPSHOT
+        ops = [_build_op(s) for s in op_specs]
+        expected = _reference_apply(state, ops, consistency)
+        result = store.apply(OpBatch.from_ops(ops), consistency=consistency)
+        _assert_matches(result, expected, f"step {step}")
+        version_before = backend.boundary_version
+        _apply_action(backend, action)
+        _check_bounds(backend, f"step {step} after {action}")
+        if backend.boundary_version != version_before:
+            assert backend.epoch > epoch_last, (
+                f"step {step}: boundary change did not advance the epoch"
+            )
+        epoch_last = backend.epoch
+        _check_full_agreement(backend, state, f"step {step} after {action}")
+
+
+class TestRebalanceOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(num_shards=st.integers(min_value=2, max_value=8), trace=trace_st)
+    def test_rebalancing_is_answer_invariant(self, num_shards, trace):
+        run_trace(num_shards, trace)
+
+    def test_churn_every_tick(self):
+        """Deterministic worst case: a forced boundary change between
+        every single tick, with duplicate-heavy mixed ticks."""
+        trace = [
+            ([("insert", k, k * 2) for k in range(12)], False, ("split", 0, 500)),
+            ([("delete", k, 0) for k in range(0, 12, 2)]
+             + [("count", 0, KEY_SPACE - 1)], True, ("merge", 0)),
+            ([("insert", 1, 99), ("delete", 1, 0), ("lookup", 1, 0)],
+             False, "policy"),
+            ([("range", 0, KEY_SPACE - 1)], True, ("split", 999, 999)),
+            ([("insert", 63, 7), ("lookup", 63, 0)], False, ("merge", 999)),
+        ]
+        run_trace(4, trace)
+
+    def test_policy_fires_through_the_engine_poll(self):
+        """A skewed stream through the facade alone (no forced actions)
+        must trip the attached policy via the engine's between-tick
+        maintenance poll — and stay oracle-correct."""
+        trace = [
+            ([("insert", k % 8, k) for k in range(12)], False, None),
+            ([("lookup", k % 8, 0) for k in range(12)], False, None),
+            ([("lookup", k % 8, 0) for k in range(12)], False, None),
+            ([("lookup", 70 % KEY_SPACE, 0)] * 4, False, None),
+        ]
+        policy = LoadImbalancePolicy(
+            imbalance_threshold=1.2, min_traffic=1, cooldown_ticks=0
+        )
+        backend = ShardedLSM(
+            4,
+            batch_size=BATCH,
+            key_domain=KEY_SPACE,
+            seed=7,
+            rebalance_policy=policy,
+            max_shards=4,
+        )
+        store = KVStore(backend=backend)
+        state = {}
+        for op_specs, strict, _ in trace:
+            ops = [_build_op(s) for s in op_specs]
+            expected = _reference_apply(state, ops, Consistency.SNAPSHOT)
+            _assert_matches(
+                store.apply(OpBatch.from_ops(ops)), expected, "poll"
+            )
+        assert backend.rebalance_stats()["rebalance_runs"] >= 1
+        _check_bounds(backend, "after poll-driven rebalance")
+        _check_full_agreement(backend, state, "after poll-driven rebalance")
